@@ -1,0 +1,35 @@
+# Convenience targets for the psa reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench paperbench examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+paperbench:
+	$(GO) run ./cmd/paperbench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/parallelizer
+	$(GO) run ./examples/memplanner
+	$(GO) run ./examples/racehunt
+	$(GO) run ./examples/deadlock
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,337 @@
+package psa
+
+// The benchmark harness regenerates every quantitative artifact of the
+// paper (one benchmark per experiment in EXPERIMENTS.md) and measures the
+// cost of the framework's moving parts. State/edge counts are attached to
+// the benchmark output via ReportMetric, so `go test -bench=.` reproduces
+// both the numbers and their cost.
+
+import (
+	"testing"
+
+	"psa/internal/absdom"
+	"psa/internal/abssem"
+	"psa/internal/analysis"
+	"psa/internal/apps"
+	"psa/internal/explore"
+	"psa/internal/lang"
+	"psa/internal/paperexp"
+	"psa/internal/sem"
+	"psa/internal/workloads"
+)
+
+// --- One benchmark per paper experiment -----------------------------------
+
+func BenchmarkFig2Outcomes(b *testing.B) { // E1
+	for i := 0; i < b.N; i++ {
+		res := explore.Explore(workloads.Fig2(), explore.Options{Reduction: explore.Full})
+		b.ReportMetric(float64(res.States), "states")
+		b.ReportMetric(float64(len(res.OutcomeSet("x", "y"))), "outcomes")
+	}
+}
+
+func BenchmarkFig2Reordered(b *testing.B) { // E2
+	for i := 0; i < b.N; i++ {
+		resB := explore.Explore(workloads.Fig2Reordered(), explore.Options{Reduction: explore.Full})
+		resP := explore.Explore(workloads.Fig2FullyParallel(), explore.Options{Reduction: explore.Full})
+		b.ReportMetric(float64(len(resB.OutcomeSet("x", "y"))), "outcomesReordered")
+		b.ReportMetric(float64(len(resP.OutcomeSet("x", "y"))), "outcomesParallel")
+	}
+}
+
+func BenchmarkFig5Stubborn(b *testing.B) { // E3
+	prog := workloads.Fig5Malloc()
+	for i := 0; i < b.N; i++ {
+		full := explore.Explore(prog, explore.Options{Reduction: explore.Full})
+		stub := explore.Explore(prog, explore.Options{Reduction: explore.Stubborn})
+		b.ReportMetric(float64(full.States), "fullStates")
+		b.ReportMetric(float64(stub.States), "stubbornStates")
+	}
+}
+
+func BenchmarkPhilosophers(b *testing.B) { // E4
+	for _, n := range []int{2, 3, 4, 5} {
+		prog := workloads.Philosophers(n)
+		b.Run(benchName("full", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := explore.Explore(prog, explore.Options{Reduction: explore.Full, MaxConfigs: 1 << 22})
+				b.ReportMetric(float64(res.States), "states")
+			}
+		})
+		b.Run(benchName("stubborn", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := explore.Explore(prog, explore.Options{Reduction: explore.Stubborn, Coarsen: true, MaxConfigs: 1 << 22})
+				b.ReportMetric(float64(res.States), "states")
+			}
+		})
+	}
+}
+
+func BenchmarkFig3Folding(b *testing.B) { // E5
+	prog := workloads.Fig5Malloc()
+	for i := 0; i < b.N; i++ {
+		conc := explore.Explore(prog, explore.Options{Reduction: explore.Full})
+		abs := abssem.Analyze(prog, abssem.Options{Domain: absdom.ConstDomain{}})
+		b.ReportMetric(float64(conc.States), "concrete")
+		b.ReportMetric(float64(abs.States), "abstract")
+	}
+}
+
+func BenchmarkClanFolding(b *testing.B) { // E6
+	for _, n := range []int{2, 4, 6, 8} {
+		prog := workloads.ClanWorkers(n)
+		b.Run(benchName("arms", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plain := abssem.Analyze(prog, abssem.Options{Domain: absdom.ConstDomain{}})
+				clan := abssem.Analyze(prog, abssem.Options{Domain: absdom.ConstDomain{}, ClanFold: true})
+				b.ReportMetric(float64(plain.States), "plain")
+				b.ReportMetric(float64(clan.States), "clan")
+			}
+		})
+	}
+}
+
+func BenchmarkFig8Parallelize(b *testing.B) { // E7
+	prog := workloads.Fig8Calls()
+	for i := 0; i < b.N; i++ {
+		cl := analysis.NewCollector(prog)
+		explore.Explore(prog, explore.Options{Reduction: explore.Full, Sink: cl})
+		sched := apps.Parallelize(cl, "s1", "s2", "s3", "s4")
+		b.ReportMetric(float64(len(sched.Groups)), "arms")
+		b.ReportMetric(float64(len(sched.Deps)), "deps")
+	}
+}
+
+func BenchmarkMemPlacement(b *testing.B) { // E8
+	prog := workloads.MemPlacement()
+	for i := 0; i < b.N; i++ {
+		cl := analysis.NewCollector(prog)
+		explore.Explore(prog, explore.Options{Reduction: explore.Full, Sink: cl})
+		rep := apps.Placements(cl, "b1", "b2")
+		b.ReportMetric(float64(len(rep.Entries)), "objects")
+	}
+}
+
+func BenchmarkSideEffects(b *testing.B) { // E9
+	prog := workloads.SideEffects()
+	for i := 0; i < b.N; i++ {
+		cl := analysis.NewCollector(prog)
+		explore.Explore(prog, explore.Options{Reduction: explore.Full, Sink: cl})
+		total := 0
+		for _, fn := range prog.Funcs {
+			total += len(cl.SideEffects(fn))
+		}
+		b.ReportMetric(float64(total), "effects")
+	}
+}
+
+func BenchmarkCoarsening(b *testing.B) { // E10
+	prog := workloads.IndependentWorkers(3, 3)
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := explore.Explore(prog, explore.Options{Reduction: explore.Full})
+			b.ReportMetric(float64(res.States), "states")
+		}
+	})
+	b.Run("coarsened", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := explore.Explore(prog, explore.Options{Reduction: explore.Full, Coarsen: true})
+			b.ReportMetric(float64(res.States), "states")
+		}
+	})
+}
+
+func BenchmarkOptSafety(b *testing.B) { // E11
+	prog := workloads.BusyWait()
+	for i := 0; i < b.N; i++ {
+		abs := abssem.Analyze(prog, abssem.Options{})
+		oracle := apps.NewOracle(prog, abs)
+		v1 := oracle.HoistLoad("c1", "flag")
+		v2 := oracle.ConstProp("c1", "flag")
+		if v1.Safe || v2.Safe {
+			b.Fatal("oracle must refuse both")
+		}
+	}
+}
+
+func BenchmarkAblation(b *testing.B) { // E12
+	prog := workloads.Philosophers(3)
+	combos := []struct {
+		name string
+		opts explore.Options
+	}{
+		{"full", explore.Options{Reduction: explore.Full}},
+		{"full+coarsen", explore.Options{Reduction: explore.Full, Coarsen: true}},
+		{"stubborn", explore.Options{Reduction: explore.Stubborn}},
+		{"stubborn+coarsen", explore.Options{Reduction: explore.Stubborn, Coarsen: true}},
+		{"granStmt", explore.Options{Reduction: explore.Full, Granularity: sem.GranStmt}},
+	}
+	for _, c := range combos {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := explore.Explore(prog, c.opts)
+				b.ReportMetric(float64(res.States), "states")
+				b.ReportMetric(float64(res.Edges), "edges")
+			}
+		})
+	}
+}
+
+// BenchmarkAllExperiments regenerates the full table set exactly as
+// cmd/paperbench prints it (small scale).
+func BenchmarkAllExperiments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := paperexp.All(true)
+		if len(tables) != 15 {
+			b.Fatalf("%d tables", len(tables))
+		}
+	}
+}
+
+// --- Micro-benchmarks of the framework's moving parts ---------------------
+
+func BenchmarkLexer(b *testing.B) {
+	src := lang.Format(workloads.Philosophers(8))
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := lang.Lex(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParser(b *testing.B) {
+	src := lang.Format(workloads.Philosophers(8))
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := lang.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	prog := workloads.Philosophers(4)
+	c := sem.NewConfig(prog)
+	c = c.Step(0).Config // fork
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en := c.Enabled()
+		_ = c.Step(en[i%len(en)])
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	prog := workloads.Philosophers(4)
+	c := sem.NewConfig(prog)
+	c = c.Step(0).Config
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Encode()
+	}
+}
+
+func BenchmarkNextAccess(b *testing.B) {
+	prog := workloads.Philosophers(4)
+	c := sem.NewConfig(prog)
+	c = c.Step(0).Config
+	en := c.Enabled()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.NextAccess(en[i%len(en)])
+	}
+}
+
+func BenchmarkSummaries(b *testing.B) {
+	prog := workloads.Philosophers(6)
+	for i := 0; i < b.N; i++ {
+		_ = sem.NewSummaries(prog)
+	}
+}
+
+func BenchmarkAbstractInterpret(b *testing.B) {
+	prog := workloads.BusyWait()
+	for _, d := range []absdom.NumDomain{absdom.ConstDomain{}, absdom.SignDomain{}, absdom.IntervalDomain{}} {
+		b.Run(d.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := abssem.Analyze(prog, abssem.Options{Domain: d})
+				b.ReportMetric(float64(res.States), "states")
+			}
+		})
+	}
+}
+
+func BenchmarkStubbornSelection(b *testing.B) {
+	prog := workloads.Philosophers(5)
+	res := explore.Explore(prog, explore.Options{Reduction: explore.Stubborn, Coarsen: true, MaxConfigs: 1 << 22})
+	if res.Truncated {
+		b.Fatal("truncated")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := explore.Explore(prog, explore.Options{Reduction: explore.Stubborn, Coarsen: true, MaxConfigs: 1 << 22})
+		b.ReportMetric(float64(res.States), "states")
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return prefix + "-n" + string(rune('0'+n))
+}
+
+func BenchmarkKLimit(b *testing.B) { // E13
+	for i := 0; i < b.N; i++ {
+		tab := paperexp.E13KLimit()
+		if len(tab.Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkCanonicalization(b *testing.B) { // E14
+	prog := workloads.Fig5Malloc()
+	b.Run("canonical", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := explore.Explore(prog, explore.Options{Reduction: explore.Full})
+			b.ReportMetric(float64(res.States), "states")
+		}
+	})
+	b.Run("raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := explore.Explore(prog, explore.Options{Reduction: explore.Full, NoCanonKeys: true})
+			b.ReportMetric(float64(res.States), "states")
+		}
+	})
+}
+
+func BenchmarkPetersonVerification(b *testing.B) {
+	prog := workloads.Peterson()
+	for i := 0; i < b.N; i++ {
+		res := explore.Explore(prog, explore.Options{Reduction: explore.Stubborn, Coarsen: true})
+		if len(res.Errors) != 0 {
+			b.Fatal("mutual exclusion violated")
+		}
+		b.ReportMetric(float64(res.States), "states")
+	}
+}
+
+func BenchmarkGraphAndDivergence(b *testing.B) {
+	prog := workloads.CrossedWait()
+	for i := 0; i < b.N; i++ {
+		res := explore.Explore(prog, explore.Options{Reduction: explore.Full, KeepGraph: true})
+		if len(res.Graph.Divergent()) == 0 {
+			b.Fatal("deadlock not detected")
+		}
+	}
+}
+
+func BenchmarkParallelExploration(b *testing.B) {
+	prog := workloads.Philosophers(5)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := explore.Explore(prog, explore.Options{Reduction: explore.Full, Workers: workers, MaxConfigs: 1 << 22})
+				b.ReportMetric(float64(res.States), "states")
+			}
+		})
+	}
+}

@@ -1,0 +1,192 @@
+// Command explore generates the reachable configuration space of a
+// cobegin program and prints state/edge statistics, terminal outcomes,
+// and (optionally) every terminal configuration — the tooling behind the
+// paper's Figures 3 and 5.
+//
+// Usage:
+//
+//	explore [flags] program.cb
+//
+// Examples:
+//
+//	explore -reduction stubborn -coarsen prog.cb
+//	explore -outcomes x,y prog.cb
+//	explore -compare prog.cb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"psa/internal/core"
+	"psa/internal/sem"
+)
+
+func main() {
+	var (
+		reduction  = flag.String("reduction", "full", "expansion strategy: full or stubborn")
+		coarsen    = flag.Bool("coarsen", false, "virtually coarsen non-critical runs")
+		gran       = flag.String("granularity", "ref", "transition granularity: ref (paper model) or stmt")
+		max        = flag.Int("max", 1<<20, "configuration cap")
+		workers    = flag.Int("workers", 1, "explorer goroutines (level-synchronized BFS; >1 enables parallel exploration)")
+		outcomes   = flag.String("outcomes", "", "comma-separated globals: print the terminal outcome set")
+		terminals  = flag.Bool("terminals", false, "print every terminal configuration")
+		compare    = flag.Bool("compare", false, "run all reduction combinations and compare")
+		dot        = flag.String("dot", "", "write the configuration graph to this Graphviz file")
+		divergence = flag.Bool("divergence", false, "report configurations from which no terminal is reachable (infinite waits)")
+		witness    = flag.Bool("witness", false, "print a schedule reaching each error state")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: explore [flags] program.cb")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	a, err := core.ParseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *compare {
+		type combo struct {
+			name string
+			opts core.ExploreOptions
+		}
+		combos := []combo{
+			{"full", core.ExploreOptions{Reduction: core.Full}},
+			{"full+coarsen", core.ExploreOptions{Reduction: core.Full, Coarsen: true}},
+			{"stubborn", core.ExploreOptions{Reduction: core.Stubborn}},
+			{"stubborn+coarsen", core.ExploreOptions{Reduction: core.Stubborn, Coarsen: true}},
+		}
+		var ref []string
+		for i, c := range combos {
+			c.opts.MaxConfigs = *max
+			res := a.Explore(c.opts)
+			marker := ""
+			if i == 0 {
+				ref = res.TerminalStoreSet()
+			} else if !equal(ref, res.TerminalStoreSet()) {
+				marker = "  !! result-configurations differ from full"
+			}
+			fmt.Printf("%-17s %s%s\n", c.name+":", res, marker)
+		}
+		return
+	}
+
+	opts := core.ExploreOptions{Coarsen: *coarsen, MaxConfigs: *max, Workers: *workers}
+	switch *reduction {
+	case "full":
+		opts.Reduction = core.Full
+	case "stubborn":
+		opts.Reduction = core.Stubborn
+	default:
+		fmt.Fprintf(os.Stderr, "unknown reduction %q\n", *reduction)
+		os.Exit(2)
+	}
+	switch *gran {
+	case "ref":
+		opts.Granularity = sem.GranRef
+	case "stmt":
+		opts.Granularity = sem.GranStmt
+	default:
+		fmt.Fprintf(os.Stderr, "unknown granularity %q\n", *gran)
+		os.Exit(2)
+	}
+
+	if *dot != "" || *divergence || *witness {
+		opts.KeepGraph = true
+	}
+	res := a.Explore(opts)
+	fmt.Println(res)
+
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := res.Graph.WriteDOT(f, flag.Arg(0)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("configuration graph written to %s\n", *dot)
+	}
+
+	if *divergence {
+		div := res.Graph.Divergent()
+		if len(div) == 0 {
+			fmt.Println("no divergent configurations: every reachable state can still terminate")
+		} else {
+			fmt.Printf("%d of %d configurations cannot reach a terminal (infinite wait)\n", len(div), res.States)
+			if tr, ok := res.Graph.TraceTo(div[0]); ok {
+				fmt.Println("schedule entering the first one:")
+				for _, s := range tr {
+					fmt.Printf("  proc %s: %s\n", s.Proc, s.Stmt)
+				}
+			}
+		}
+	}
+
+	if *witness {
+		for _, ec := range res.Errors {
+			fmt.Printf("error: %s\n", ec.Err)
+			if tr, ok := res.Graph.TraceTo(ec.Encode()); ok {
+				for _, s := range tr {
+					fmt.Printf("  proc %s: %s\n", s.Proc, s.Stmt)
+				}
+			}
+		}
+	}
+
+	if *outcomes != "" {
+		names := strings.Split(*outcomes, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		fmt.Printf("outcomes over (%s):\n", strings.Join(names, ","))
+		for _, o := range res.OutcomeSet(names...) {
+			cells := make([]string, len(o))
+			for i, v := range o {
+				cells[i] = fmt.Sprint(v)
+			}
+			fmt.Printf("  (%s)\n", strings.Join(cells, ","))
+		}
+	}
+
+	if *terminals {
+		for k, c := range res.Terminals {
+			if c.Err != "" {
+				fmt.Printf("terminal ERROR: %s\n", c.Err)
+				continue
+			}
+			fmt.Printf("terminal: %s\n", shorten(string(k)))
+		}
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func shorten(s string) string {
+	s = strings.ReplaceAll(s, "\n", " ")
+	if len(s) > 120 {
+		return s[:117] + "..."
+	}
+	return s
+}

@@ -1,0 +1,39 @@
+// Command paperbench regenerates every quantitative artifact of the
+// paper: the Figure 2/3/5/8 results, the §5/§7 analyses, the dining-
+// philosophers scaling claim, and the reduction ablations. It prints the
+// same rows EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	paperbench [-small] [-only E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"psa/internal/paperexp"
+)
+
+func main() {
+	small := flag.Bool("small", false, "smaller sweeps (n≤4 philosophers) for quick runs")
+	only := flag.String("only", "", "run a single experiment by ID (e.g. E4)")
+	flag.Parse()
+
+	start := time.Now()
+	found := false
+	for _, e := range paperexp.Registry(*small) {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		found = true
+		fmt.Println(e.Run())
+	}
+	if *only != "" && !found {
+		fmt.Fprintf(os.Stderr, "no experiment %q (E1..E12)\n", *only)
+		os.Exit(2)
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,281 @@
+// Command psa is the analyzer front end: it parses a cobegin program and
+// runs the requested analyses — state-space statistics, data dependences,
+// side effects, memory placement, access anomalies, parallelization, and
+// optimization-safety queries.
+//
+// Usage:
+//
+//	psa [flags] program.cb
+//
+// Examples:
+//
+//	psa -explore prog.cb
+//	psa -deps s1,s2,s3,s4 prog.cb
+//	psa -parallelize s1,s2,s3,s4 prog.cb
+//	psa -placements b1,b2 prog.cb
+//	psa -effects f1 prog.cb
+//	psa -anomalies prog.cb
+//	psa -hoist loop:flag -constprop use:k prog.cb
+//	psa -abstract sign prog.cb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"psa/internal/absdom"
+	"psa/internal/core"
+	"psa/internal/lang"
+)
+
+func main() {
+	var (
+		doExplore   = flag.Bool("explore", false, "print state-space statistics (full vs. stubborn vs. coarsened)")
+		deps        = flag.String("deps", "", "comma-separated statement labels: report data dependences")
+		parallelize = flag.String("parallelize", "", "comma-separated statement labels: propose a parallel schedule")
+		placements  = flag.String("placements", "", "comma-separated allocation labels: memory placement report")
+		effects     = flag.String("effects", "", "function name: side-effect summary")
+		anomalies   = flag.Bool("anomalies", false, "report access anomalies (co-enabled conflicting accesses)")
+		hoist       = flag.String("hoist", "", "loopLabel:global — may the load be hoisted out of the loop?")
+		constprop   = flag.String("constprop", "", "label:global — may the load be replaced by a constant?")
+		abstract    = flag.String("abstract", "", "run the abstract interpreter with this domain (const|sign|interval)")
+		clan        = flag.Bool("clan", false, "fold identical cobegin arms during abstract interpretation")
+		format      = flag.Bool("format", false, "pretty-print the parsed program and exit")
+		dealloc     = flag.Bool("dealloc", false, "print per-function deallocation lists")
+		conflictdot = flag.String("conflictdot", "", "labels:file — write the statement conflict graph as Graphviz")
+		unreachable = flag.Bool("unreachable", false, "report statements no execution can reach")
+		invariants  = flag.String("invariants", "", "label: print the abstract value of every global at that statement")
+		report      = flag.Bool("report", false, "print a full markdown analysis report")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: psa [flags] program.cb")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	a, err := core.ParseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *format {
+		fmt.Print(a.Format())
+		return
+	}
+	ran := false
+
+	if *doExplore {
+		ran = true
+		for _, cfg := range []struct {
+			name string
+			opts core.ExploreOptions
+		}{
+			{"full", core.ExploreOptions{Reduction: core.Full}},
+			{"stubborn", core.ExploreOptions{Reduction: core.Stubborn}},
+			{"stubborn+coarsen", core.ExploreOptions{Reduction: core.Stubborn, Coarsen: true}},
+		} {
+			res := a.Explore(cfg.opts)
+			fmt.Printf("%-17s %s\n", cfg.name+":", res)
+		}
+	}
+
+	if *deps != "" {
+		ran = true
+		for _, d := range a.Dependences(splitList(*deps)...) {
+			fmt.Println(d)
+		}
+	}
+
+	if *parallelize != "" {
+		ran = true
+		fmt.Println(a.Parallelize(splitList(*parallelize)...))
+	}
+
+	if *placements != "" {
+		ran = true
+		fmt.Print(a.Placements(splitList(*placements)...))
+	}
+
+	if *effects != "" {
+		ran = true
+		se, err := a.SideEffects(*effects)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(se) == 0 {
+			fmt.Printf("%s: no side effects (pure)\n", *effects)
+		}
+		for _, e := range se {
+			fmt.Printf("%s: %s %s\n", *effects, e.Kind, e.Loc.Format(a.Prog))
+		}
+	}
+
+	if *anomalies {
+		ran = true
+		as := a.Anomalies()
+		if len(as) == 0 {
+			fmt.Println("no access anomalies")
+		}
+		for _, an := range as {
+			kind := "read/write"
+			if an.WriteWrite {
+				kind = "write/write"
+			}
+			fmt.Printf("anomaly: %s between %s and %s on %s\n",
+				kind, describeNode(a.Prog, an.StmtA), describeNode(a.Prog, an.StmtB), an.Loc)
+		}
+	}
+
+	if *hoist != "" {
+		ran = true
+		label, global, ok := splitPair(*hoist)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "-hoist wants loopLabel:global")
+			os.Exit(2)
+		}
+		fmt.Printf("hoist %s out of %s: %s\n", global, label, a.NewOracle().HoistLoad(label, global))
+	}
+
+	if *constprop != "" {
+		ran = true
+		label, global, ok := splitPair(*constprop)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "-constprop wants label:global")
+			os.Exit(2)
+		}
+		fmt.Printf("const-prop %s at %s: %s\n", global, label, a.NewOracle().ConstProp(label, global))
+	}
+
+	if *abstract != "" {
+		ran = true
+		dom := absdom.DomainByName(*abstract)
+		if dom == nil {
+			fmt.Fprintf(os.Stderr, "unknown domain %q (const|sign|interval)\n", *abstract)
+			os.Exit(2)
+		}
+		res := a.AbstractWith(core.AbstractOptions{Domain: dom, ClanFold: *clan})
+		fmt.Println(res)
+		for _, g := range a.Prog.Globals {
+			if v, ok := res.GlobalInvariant(g.Name); ok {
+				fmt.Printf("  %s = %s at termination\n", g.Name, v)
+			}
+		}
+	}
+
+	if *conflictdot != "" {
+		ran = true
+		spec, file, ok := splitPairLast(*conflictdot)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "-conflictdot wants label1,label2,...:file")
+			os.Exit(2)
+		}
+		f, err := os.Create(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := a.WriteConflictDOT(f, splitList(spec)...); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("conflict graph written to %s\n", file)
+	}
+
+	if *dealloc {
+		ran = true
+		lists := a.DeallocationLists()
+		if len(lists) == 0 {
+			fmt.Println("no reclaimable allocations")
+		}
+		for _, dl := range lists {
+			fmt.Println(dl)
+		}
+	}
+
+	if *unreachable {
+		ran = true
+		un := a.Abstract().Unreachable()
+		if len(un) == 0 {
+			fmt.Println("every statement is reachable")
+		}
+		for _, s := range un {
+			fmt.Printf("unreachable: %s at %s\n", lang.DescribeStmt(s), s.NodePos())
+		}
+	}
+
+	if *invariants != "" {
+		ran = true
+		res := a.Abstract()
+		for _, g := range a.Prog.Globals {
+			if v, ok := res.GlobalAt(*invariants, g.Name); ok {
+				fmt.Printf("at %s: %s = %s\n", *invariants, g.Name, v)
+			} else {
+				fmt.Printf("at %s: %s = (unreached)\n", *invariants, g.Name)
+			}
+		}
+	}
+
+	if *report {
+		ran = true
+		if err := a.Report(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if !ran {
+		// Default action: quick exploration summary plus anomalies.
+		res := a.Explore(core.ExploreOptions{Reduction: core.Stubborn, Coarsen: true})
+		fmt.Println(res)
+		for _, an := range a.Anomalies() {
+			fmt.Printf("anomaly between %s and %s on %s\n",
+				describeNode(a.Prog, an.StmtA), describeNode(a.Prog, an.StmtB), an.Loc)
+		}
+	}
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitPair(s string) (string, string, bool) {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 || i == len(s)-1 {
+		return "", "", false
+	}
+	return s[:i], s[i+1:], true
+}
+
+// splitPairLast splits on the LAST colon (the spec part may contain none,
+// the file part may be a path without colons).
+func splitPairLast(s string) (string, string, bool) {
+	i := strings.LastIndexByte(s, ':')
+	if i <= 0 || i == len(s)-1 {
+		return "", "", false
+	}
+	return s[:i], s[i+1:], true
+}
+
+func describeNode(p *core.Program, id lang.NodeID) string {
+	if n := p.Node(id); n != nil {
+		if s, ok := n.(lang.Stmt); ok {
+			return lang.DescribeStmt(s)
+		}
+	}
+	return fmt.Sprintf("node %d", id)
+}

@@ -1,0 +1,17 @@
+// Package psa reproduces Chow & Harrison, "A General Framework for
+// Analyzing Shared-Memory Parallel Programs" (ICPP 1992): a compile-time
+// analysis framework for cobegin programs with shared memory, built on
+// state-space exploration with stubborn-set reduction and virtual
+// coarsening, and on abstract interpretation with configuration and clan
+// folding. The derived analyses — side effects, data dependences, object
+// lifetimes — drive the paper's applications: call parallelization,
+// memory-hierarchy placement, and optimization-safety checks.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/psa, cmd/explore and cmd/paperbench are the command-line
+// tools; bench_test.go regenerates every figure and table of the paper's
+// evaluation (see EXPERIMENTS.md).
+package psa
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"

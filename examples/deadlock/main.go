@@ -1,0 +1,95 @@
+// Deadlock: Taylor-style infinite-wait detection [Tay83], the earliest
+// ancestor of the paper's framework. Two workers synchronize with flags;
+// a refactoring swapped the wait and the publish in one of them, so each
+// now waits for a flag only the other would set afterwards. Exhaustive
+// exploration proves that every execution enters a configuration from
+// which termination is impossible, and prints a schedule driving the
+// program into the trap.
+//
+// Run with: go run ./examples/deadlock
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"psa/internal/core"
+)
+
+const buggy = `
+var readyA; var readyB; var done;
+
+func main() {
+  cobegin {
+    // Worker A: waits for B before publishing its own readiness. BUG:
+    // the publish was supposed to come first.
+    wa: while readyB == 0 { skip; }
+    readyA = 1;
+  } || {
+    // Worker B: same bug, mirrored.
+    wb: while readyA == 0 { skip; }
+    readyB = 1;
+  } coend
+  done = 1;
+}
+`
+
+const fixed = `
+var readyA; var readyB; var done;
+
+func main() {
+  cobegin {
+    readyA = 1;
+    wa: while readyB == 0 { skip; }
+  } || {
+    readyB = 1;
+    wb: while readyA == 0 { skip; }
+  } coend
+  done = 1;
+}
+`
+
+func main() {
+	for _, v := range []struct{ name, src string }{{"buggy", buggy}, {"fixed", fixed}} {
+		a, err := core.Parse(v.src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := a.Explore(core.ExploreOptions{Reduction: core.Full, KeepGraph: true})
+		div := res.Graph.Divergent()
+		fmt.Printf("== %s version ==\n", v.name)
+		fmt.Printf("  %s\n", res)
+		fmt.Printf("  divergent configurations: %d of %d\n", len(div), res.States)
+		switch {
+		case len(res.Terminals) == 0:
+			fmt.Println("  verdict: DEADLOCK — no execution terminates")
+			if tr, ok := res.Graph.TraceTo(div[0]); ok {
+				if len(tr) == 0 {
+					fmt.Println("  the initial configuration is already trapped: no schedule escapes")
+				} else {
+					fmt.Println("  one schedule into the trap:")
+					for _, s := range tr {
+						fmt.Printf("    proc %s: %s\n", s.Proc, s.Stmt)
+					}
+				}
+			}
+		case len(div) > 0:
+			fmt.Println("  verdict: SOME schedules never terminate")
+		default:
+			fmt.Println("  verdict: every reachable configuration can still terminate")
+		}
+		fmt.Println()
+	}
+
+	// Emit the buggy graph for inspection with graphviz.
+	a, _ := core.Parse(buggy)
+	res := a.Explore(core.ExploreOptions{Reduction: core.Full, KeepGraph: true})
+	f, err := os.CreateTemp("", "deadlock-*.dot")
+	if err == nil {
+		if err := res.Graph.WriteDOT(f, "deadlock"); err == nil {
+			fmt.Printf("configuration graph written to %s (render with: dot -Tsvg)\n", f.Name())
+		}
+		f.Close()
+	}
+}

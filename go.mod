@@ -1,0 +1,3 @@
+module psa
+
+go 1.22

@@ -1,0 +1,304 @@
+package absdom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"psa/internal/lang"
+)
+
+var allDomains = []NumDomain{ConstDomain{}, SignDomain{}, IntervalDomain{}}
+
+func TestDomainBasics(t *testing.T) {
+	for _, d := range allDomains {
+		t.Run(d.Name(), func(t *testing.T) {
+			if !d.Bot().IsBot() {
+				t.Error("Bot not IsBot")
+			}
+			if !d.Top().IsTop() {
+				t.Error("Top not IsTop")
+			}
+			if d.Of(3).IsBot() || d.Of(3).IsTop() {
+				t.Error("Of(3) should be neither ⊥ nor ⊤")
+			}
+			if !d.Leq(d.Bot(), d.Of(3)) || !d.Leq(d.Of(3), d.Top()) {
+				t.Error("Bot ⊑ Of ⊑ Top violated")
+			}
+		})
+	}
+}
+
+func TestOfCovers(t *testing.T) {
+	for _, d := range allDomains {
+		for _, n := range []int64{-7, -1, 0, 1, 42} {
+			if !d.Of(n).Covers(n) {
+				t.Errorf("%s: Of(%d) does not cover %d", d.Name(), n, n)
+			}
+			if !d.Top().Covers(n) {
+				t.Errorf("%s: Top does not cover %d", d.Name(), n)
+			}
+			if d.Bot().Covers(n) {
+				t.Errorf("%s: Bot covers %d", d.Name(), n)
+			}
+		}
+	}
+}
+
+func TestJoinCovers(t *testing.T) {
+	for _, d := range allDomains {
+		j := d.Join(d.Of(3), d.Of(-2))
+		if !j.Covers(3) || !j.Covers(-2) {
+			t.Errorf("%s: join does not cover both operands", d.Name())
+		}
+		if !d.Leq(d.Of(3), j) || !d.Leq(d.Of(-2), j) {
+			t.Errorf("%s: operands not ≤ join", d.Name())
+		}
+	}
+}
+
+var binOps = []lang.TokKind{
+	lang.TokPlus, lang.TokMinus, lang.TokStar, lang.TokSlash, lang.TokPercent,
+	lang.TokEq, lang.TokNe, lang.TokLt, lang.TokLe, lang.TokGt, lang.TokGe,
+	lang.TokAnd, lang.TokParallel,
+}
+
+// Property: abstract transfer functions over-approximate concrete ones in
+// every domain.
+func TestQuickBinopSound(t *testing.T) {
+	for _, d := range allDomains {
+		d := d
+		t.Run(d.Name(), func(t *testing.T) {
+			f := func(a, b int8, opIdx uint8) bool {
+				op := binOps[int(opIdx)%len(binOps)]
+				ca, cb := int64(a), int64(b)
+				cr, ok := concreteBinop(op, ca, cb)
+				if !ok {
+					return true // concrete error (div by zero): no obligation
+				}
+				ar := d.Binop(op, d.Of(ca), d.Of(cb))
+				return ar.Covers(cr)
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestQuickBinopMonotoneInJoin(t *testing.T) {
+	// Binop over a joined operand covers results of both originals.
+	for _, d := range allDomains {
+		d := d
+		t.Run(d.Name(), func(t *testing.T) {
+			f := func(a1, a2, b int8, opIdx uint8) bool {
+				op := binOps[int(opIdx)%len(binOps)]
+				j := d.Join(d.Of(int64(a1)), d.Of(int64(a2)))
+				ar := d.Binop(op, j, d.Of(int64(b)))
+				for _, ca := range []int64{int64(a1), int64(a2)} {
+					if cr, ok := concreteBinop(op, ca, int64(b)); ok {
+						if !ar.Covers(cr) {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestNegSound(t *testing.T) {
+	for _, d := range allDomains {
+		for _, n := range []int64{-5, 0, 9} {
+			if !d.Neg(d.Of(n)).Covers(-n) {
+				t.Errorf("%s: Neg(Of(%d)) does not cover %d", d.Name(), n, -n)
+			}
+		}
+	}
+}
+
+func TestTruthSound(t *testing.T) {
+	for _, d := range allDomains {
+		mt, mf := d.Truth(d.Of(0))
+		if mt || !mf {
+			t.Errorf("%s: Truth(0) = (%v,%v), want (false,true)", d.Name(), mt, mf)
+		}
+		mt, mf = d.Truth(d.Of(7))
+		if !mt || mf {
+			t.Errorf("%s: Truth(7) = (%v,%v), want (true,false)", d.Name(), mt, mf)
+		}
+		mt, mf = d.Truth(d.Top())
+		if !mt || !mf {
+			t.Errorf("%s: Truth(⊤) must allow both", d.Name())
+		}
+	}
+}
+
+func TestIntervalWidening(t *testing.T) {
+	d := IntervalDomain{}
+	x := d.Of(0)
+	for i := 0; i < 200; i++ {
+		y := d.Binop(lang.TokPlus, x, d.Of(1))
+		nx := d.Widen(x, d.Join(x, y))
+		if d.Eq(nx, x) {
+			return
+		}
+		x = nx
+	}
+	t.Error("interval widening chain did not stabilize in 200 steps")
+}
+
+func TestConstPrecision(t *testing.T) {
+	d := ConstDomain{}
+	r := d.Binop(lang.TokPlus, d.Of(2), d.Of(3))
+	if c, ok := r.AsConst(); !ok || c != 5 {
+		t.Errorf("const 2+3 = %s, want 5 exactly", r)
+	}
+	if r := d.Binop(lang.TokSlash, d.Of(7), d.Of(0)); !r.IsTop() {
+		t.Errorf("const 7/0 = %s, want ⊤", r)
+	}
+}
+
+func TestSignPrecision(t *testing.T) {
+	d := SignDomain{}
+	r := d.Binop(lang.TokStar, d.Of(-3), d.Of(4))
+	if !r.Covers(-12) || r.Covers(12) {
+		t.Errorf("sign −×+ = %s, want exactly negative", r)
+	}
+	r = d.Binop(lang.TokPlus, d.Of(1), d.Of(2))
+	if r.Covers(-1) {
+		t.Errorf("sign +++ = %s, should not cover negatives", r)
+	}
+}
+
+func TestIntervalComparisons(t *testing.T) {
+	d := IntervalDomain{}
+	lo := d.Join(d.Of(1), d.Of(3))  // [1,3]
+	hi := d.Join(d.Of(5), d.Of(10)) // [5,10]
+	r := d.Binop(lang.TokLt, lo, hi)
+	if c, ok := r.AsConst(); !ok || c != 1 {
+		t.Errorf("[1,3] < [5,10] = %s, want exactly 1", r)
+	}
+	r = d.Binop(lang.TokGt, lo, hi)
+	if c, ok := r.AsConst(); !ok || c != 0 {
+		t.Errorf("[1,3] > [5,10] = %s, want exactly 0", r)
+	}
+	over := d.Join(d.Of(2), d.Of(7)) // [2,7]
+	r = d.Binop(lang.TokLt, lo, over)
+	mt, mf := d.Truth(r)
+	if !mt || !mf {
+		t.Errorf("[1,3] < [2,7] = %s: must allow both outcomes", r)
+	}
+}
+
+func TestValueJoin(t *testing.T) {
+	d := ConstDomain{}
+	v := OfInt(d, 3).Join(OfPtr(d, Target{Heap: true, Site: 7}))
+	if !v.CoversInt(3) {
+		t.Error("join lost the integer")
+	}
+	if !v.CoversPtrTarget(Target{Heap: true, Site: 7}) {
+		t.Error("join lost the pointer")
+	}
+	if v.CoversPtrTarget(Target{Heap: true, Site: 8}) {
+		t.Error("join covers a pointer it should not")
+	}
+}
+
+func TestValueLeqEq(t *testing.T) {
+	d := SignDomain{}
+	a := OfInt(d, 1)
+	b := a.Join(OfUndef(d))
+	if !a.Leq(b) || b.Leq(a) {
+		t.Error("Leq with undef broken")
+	}
+	if !a.Eq(OfInt(d, 1)) {
+		t.Error("Eq broken")
+	}
+}
+
+func TestValueMayTruth(t *testing.T) {
+	d := ConstDomain{}
+	mt, mf := OfPtr(d, Target{Index: 0}).MayTruth()
+	if !mt || mf {
+		t.Error("pointers are truthy")
+	}
+	mt, mf = OfInt(d, 0).MayTruth()
+	if mt || !mf {
+		t.Error("zero is falsy")
+	}
+}
+
+func TestStoreUpdates(t *testing.T) {
+	d := ConstDomain{}
+	s := NewStore(d, []int64{10, 20})
+	if c, ok := s.Global(0).Num.AsConst(); !ok || c != 10 {
+		t.Fatalf("g0 = %s, want 10", s.Global(0))
+	}
+	s2 := s.SetGlobal(0, OfInt(d, 99))
+	if c, _ := s2.Global(0).Num.AsConst(); c != 99 {
+		t.Error("strong update failed")
+	}
+	if c, _ := s.Global(0).Num.AsConst(); c != 10 {
+		t.Error("update mutated the original store")
+	}
+	ht := Target{Heap: true, Site: 5}
+	s3 := s2.JoinHeap(ht, OfInt(d, 1))
+	s4 := s3.JoinHeap(ht, OfInt(d, 2))
+	hv := s4.Heap(ht)
+	if !hv.CoversInt(1) || !hv.CoversInt(2) {
+		t.Errorf("weak heap update lost values: %s", hv)
+	}
+}
+
+func TestStoreWriteTargetsStrongVsWeak(t *testing.T) {
+	d := ConstDomain{}
+	s := NewStore(d, []int64{1, 2})
+	// Single global target: strong (old value replaced).
+	s1 := s.WriteTargets([]Target{{Index: 0}}, false, OfInt(d, 9))
+	if s1.Global(0).CoversInt(1) {
+		t.Error("single-target write should be strong")
+	}
+	// Two targets: weak (old values preserved).
+	s2 := s.WriteTargets([]Target{{Index: 0}, {Index: 1}}, false, OfInt(d, 9))
+	if !s2.Global(0).CoversInt(1) || !s2.Global(0).CoversInt(9) {
+		t.Error("multi-target write should be weak")
+	}
+	// ⊤ target set: everything joined.
+	s3 := s.WriteTargets(nil, true, OfInt(d, 9))
+	if !s3.Global(1).CoversInt(9) || !s3.Global(1).CoversInt(2) {
+		t.Error("⊤-target write should weakly hit every global")
+	}
+}
+
+func TestStoreJoinWiden(t *testing.T) {
+	d := IntervalDomain{}
+	a := NewStore(d, []int64{0})
+	b := a.SetGlobal(0, OfInt(d, 5))
+	j := a.Join(b)
+	if !j.Global(0).CoversInt(0) || !j.Global(0).CoversInt(5) {
+		t.Error("store join lost values")
+	}
+	if !a.Leq(j) || !b.Leq(j) {
+		t.Error("operands not ≤ join")
+	}
+	w := a.Widen(b)
+	if !b.Leq(w) {
+		t.Error("widening does not cover new store")
+	}
+}
+
+func TestDomainByName(t *testing.T) {
+	for _, name := range []string{"const", "sign", "interval"} {
+		d := DomainByName(name)
+		if d == nil || d.Name() != name {
+			t.Errorf("DomainByName(%q) = %v", name, d)
+		}
+	}
+	if DomainByName("nope") != nil {
+		t.Error("unknown domain should be nil")
+	}
+}

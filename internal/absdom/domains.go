@@ -1,0 +1,354 @@
+package absdom
+
+import (
+	"psa/internal/lang"
+	"psa/internal/lattice"
+)
+
+// ---------------------------------------------------------------------------
+// Constancy domain (classic constant propagation): ⊥ ⊑ c ⊑ ⊤.
+
+// ConstDomain is the flat constant-propagation domain.
+type ConstDomain struct{}
+
+type constNum struct{ e lattice.FlatElem[int64] }
+
+var constL = lattice.Flat[int64]{}
+
+// Name implements NumDomain.
+func (ConstDomain) Name() string { return "const" }
+
+// Bot implements NumDomain.
+func (ConstDomain) Bot() Num { return constNum{constL.Bot()} }
+
+// Top implements NumDomain.
+func (ConstDomain) Top() Num { return constNum{constL.Top()} }
+
+// Of implements NumDomain.
+func (ConstDomain) Of(n int64) Num { return constNum{lattice.Const(n)} }
+
+// Join implements NumDomain.
+func (ConstDomain) Join(a, b Num) Num {
+	return constNum{constL.Join(a.(constNum).e, b.(constNum).e)}
+}
+
+// Widen implements NumDomain (finite height: join suffices).
+func (d ConstDomain) Widen(older, newer Num) Num { return d.Join(older, newer) }
+
+// Leq implements NumDomain.
+func (ConstDomain) Leq(a, b Num) bool { return constL.Leq(a.(constNum).e, b.(constNum).e) }
+
+// Eq implements NumDomain.
+func (ConstDomain) Eq(a, b Num) bool { return constL.Eq(a.(constNum).e, b.(constNum).e) }
+
+// Neg implements NumDomain.
+func (d ConstDomain) Neg(a Num) Num {
+	if c, ok := a.AsConst(); ok {
+		return d.Of(-c)
+	}
+	if a.IsBot() {
+		return a
+	}
+	return d.Top()
+}
+
+// Binop implements NumDomain: exact when both sides are constants.
+func (d ConstDomain) Binop(op lang.TokKind, a, b Num) Num {
+	if a.IsBot() || b.IsBot() {
+		return d.Bot()
+	}
+	if ca, ok := a.AsConst(); ok {
+		if cb, ok2 := b.AsConst(); ok2 {
+			if v, ok3 := concreteBinop(op, ca, cb); ok3 {
+				return d.Of(v)
+			}
+			return d.Top()
+		}
+	}
+	return genericBinop(d, d.fromIval, op, a, b)
+}
+
+// Truth implements NumDomain.
+func (ConstDomain) Truth(a Num) (bool, bool) {
+	if a.IsBot() {
+		return false, false
+	}
+	if c, ok := a.AsConst(); ok {
+		return c != 0, c == 0
+	}
+	return true, true
+}
+
+func (d ConstDomain) fromIval(iv lattice.Ival) Num {
+	if iv.Empty {
+		return d.Bot()
+	}
+	if iv.Lo == iv.Hi {
+		return d.Of(iv.Lo)
+	}
+	return d.Top()
+}
+
+func (n constNum) Dom() NumDomain { return ConstDomain{} }
+func (n constNum) IsBot() bool    { return n.e.Kind == lattice.FlatBot }
+func (n constNum) IsTop() bool    { return n.e.Kind == lattice.FlatTop }
+func (n constNum) Covers(v int64) bool {
+	return n.e.Kind == lattice.FlatTop || (n.e.Kind == lattice.FlatConst && n.e.V == v)
+}
+func (n constNum) AsConst() (int64, bool) { return n.e.V, n.e.Kind == lattice.FlatConst }
+func (n constNum) String() string         { return constL.Format(n.e) }
+func (n constNum) hull() lattice.Ival {
+	switch n.e.Kind {
+	case lattice.FlatBot:
+		return lattice.Interval{}.Bot()
+	case lattice.FlatConst:
+		return lattice.IvalOf(n.e.V)
+	default:
+		return lattice.Interval{}.Top()
+	}
+}
+
+// concreteBinop evaluates an operator on two concrete integers; ok is
+// false when the abstract result should be ⊤ (division by zero).
+func concreteBinop(op lang.TokKind, a, b int64) (int64, bool) {
+	bl := func(v bool) (int64, bool) {
+		if v {
+			return 1, true
+		}
+		return 0, true
+	}
+	switch op {
+	case lang.TokPlus:
+		return a + b, true
+	case lang.TokMinus:
+		return a - b, true
+	case lang.TokStar:
+		return a * b, true
+	case lang.TokSlash:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case lang.TokPercent:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case lang.TokEq:
+		return bl(a == b)
+	case lang.TokNe:
+		return bl(a != b)
+	case lang.TokLt:
+		return bl(a < b)
+	case lang.TokLe:
+		return bl(a <= b)
+	case lang.TokGt:
+		return bl(a > b)
+	case lang.TokGe:
+		return bl(a >= b)
+	case lang.TokAnd:
+		return bl(a != 0 && b != 0)
+	case lang.TokParallel:
+		return bl(a != 0 || b != 0)
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------------
+// Sign domain: the eight-element subsets of {−, 0, +}.
+
+// SignDomain abstracts integers by sign.
+type SignDomain struct{}
+
+type signNum struct{ e lattice.SignElem }
+
+var signL = lattice.Sign{}
+
+// Name implements NumDomain.
+func (SignDomain) Name() string { return "sign" }
+
+// Bot implements NumDomain.
+func (SignDomain) Bot() Num { return signNum{lattice.SignBotE} }
+
+// Top implements NumDomain.
+func (SignDomain) Top() Num { return signNum{lattice.SignTopE} }
+
+// Of implements NumDomain.
+func (SignDomain) Of(n int64) Num { return signNum{lattice.SignOf(n)} }
+
+// Join implements NumDomain.
+func (SignDomain) Join(a, b Num) Num { return signNum{a.(signNum).e | b.(signNum).e} }
+
+// Widen implements NumDomain (finite height).
+func (d SignDomain) Widen(older, newer Num) Num { return d.Join(older, newer) }
+
+// Leq implements NumDomain.
+func (SignDomain) Leq(a, b Num) bool { return signL.Leq(a.(signNum).e, b.(signNum).e) }
+
+// Eq implements NumDomain.
+func (SignDomain) Eq(a, b Num) bool { return a.(signNum).e == b.(signNum).e }
+
+// Neg implements NumDomain.
+func (SignDomain) Neg(a Num) Num { return signNum{lattice.SignNegate(a.(signNum).e)} }
+
+// Binop implements NumDomain: native transfer functions for +, −, ×;
+// interval-hull fallback elsewhere.
+func (d SignDomain) Binop(op lang.TokKind, a, b Num) Num {
+	sa, sb := a.(signNum).e, b.(signNum).e
+	switch op {
+	case lang.TokPlus:
+		return signNum{lattice.SignAdd(sa, sb)}
+	case lang.TokMinus:
+		return signNum{lattice.SignSub(sa, sb)}
+	case lang.TokStar:
+		return signNum{lattice.SignMul(sa, sb)}
+	}
+	return genericBinop(d, d.fromIval, op, a, b)
+}
+
+// Truth implements NumDomain.
+func (SignDomain) Truth(a Num) (bool, bool) {
+	e := a.(signNum).e
+	if e == lattice.SignBotE {
+		return false, false
+	}
+	return e&(lattice.SignNeg|lattice.SignPos) != 0, e&lattice.SignZero != 0
+}
+
+func (d SignDomain) fromIval(iv lattice.Ival) Num {
+	if iv.Empty {
+		return d.Bot()
+	}
+	var e lattice.SignElem
+	if iv.Lo < 0 {
+		e |= lattice.SignNeg
+	}
+	if iv.Lo <= 0 && iv.Hi >= 0 {
+		e |= lattice.SignZero
+	}
+	if iv.Hi > 0 {
+		e |= lattice.SignPos
+	}
+	return signNum{e}
+}
+
+func (n signNum) Dom() NumDomain { return SignDomain{} }
+func (n signNum) IsBot() bool    { return n.e == lattice.SignBotE }
+func (n signNum) IsTop() bool    { return n.e == lattice.SignTopE }
+func (n signNum) Covers(v int64) bool {
+	return n.e&lattice.SignOf(v) != 0
+}
+func (n signNum) AsConst() (int64, bool) {
+	if n.e == lattice.SignZero {
+		return 0, true
+	}
+	return 0, false
+}
+func (n signNum) String() string { return signL.Format(n.e) }
+func (n signNum) hull() lattice.Ival {
+	if n.e == lattice.SignBotE {
+		return lattice.Interval{}.Bot()
+	}
+	lo, hi := int64(0), int64(0)
+	switch {
+	case n.e&lattice.SignNeg != 0:
+		lo = lattice.NegInf
+	case n.e&lattice.SignZero != 0:
+		lo = 0
+	default:
+		lo = 1
+	}
+	switch {
+	case n.e&lattice.SignPos != 0:
+		hi = lattice.PosInf
+	case n.e&lattice.SignZero != 0:
+		hi = 0
+	default:
+		hi = -1
+	}
+	return lattice.Ival{Lo: lo, Hi: hi}
+}
+
+// ---------------------------------------------------------------------------
+// Interval domain.
+
+// IntervalDomain abstracts integers by ranges with widening.
+type IntervalDomain struct{}
+
+type ivalNum struct{ e lattice.Ival }
+
+var ivalL = lattice.Interval{}
+
+// Name implements NumDomain.
+func (IntervalDomain) Name() string { return "interval" }
+
+// Bot implements NumDomain.
+func (IntervalDomain) Bot() Num { return ivalNum{ivalL.Bot()} }
+
+// Top implements NumDomain.
+func (IntervalDomain) Top() Num { return ivalNum{ivalL.Top()} }
+
+// Of implements NumDomain.
+func (IntervalDomain) Of(n int64) Num { return ivalNum{lattice.IvalOf(n)} }
+
+// Join implements NumDomain.
+func (IntervalDomain) Join(a, b Num) Num {
+	return ivalNum{ivalL.Join(a.(ivalNum).e, b.(ivalNum).e)}
+}
+
+// Widen implements NumDomain.
+func (IntervalDomain) Widen(older, newer Num) Num {
+	return ivalNum{ivalL.Widen(older.(ivalNum).e, newer.(ivalNum).e)}
+}
+
+// Leq implements NumDomain.
+func (IntervalDomain) Leq(a, b Num) bool { return ivalL.Leq(a.(ivalNum).e, b.(ivalNum).e) }
+
+// Eq implements NumDomain.
+func (IntervalDomain) Eq(a, b Num) bool { return ivalL.Eq(a.(ivalNum).e, b.(ivalNum).e) }
+
+// Neg implements NumDomain.
+func (IntervalDomain) Neg(a Num) Num { return ivalNum{lattice.IvalNeg(a.(ivalNum).e)} }
+
+// Binop implements NumDomain.
+func (d IntervalDomain) Binop(op lang.TokKind, a, b Num) Num {
+	return genericBinop(d, d.fromIval, op, a, b)
+}
+
+// Truth implements NumDomain.
+func (IntervalDomain) Truth(a Num) (bool, bool) {
+	return truthIval(a.(ivalNum).e)
+}
+
+func (d IntervalDomain) fromIval(iv lattice.Ival) Num { return ivalNum{iv} }
+
+func (n ivalNum) Dom() NumDomain { return IntervalDomain{} }
+func (n ivalNum) IsBot() bool    { return n.e.Empty }
+func (n ivalNum) IsTop() bool {
+	return !n.e.Empty && n.e.Lo == lattice.NegInf && n.e.Hi == lattice.PosInf
+}
+func (n ivalNum) Covers(v int64) bool {
+	return !n.e.Empty && n.e.Lo <= v && v <= n.e.Hi
+}
+func (n ivalNum) AsConst() (int64, bool) {
+	if !n.e.Empty && n.e.Lo == n.e.Hi {
+		return n.e.Lo, true
+	}
+	return 0, false
+}
+func (n ivalNum) String() string     { return ivalL.Format(n.e) }
+func (n ivalNum) hull() lattice.Ival { return n.e }
+
+// DomainByName returns the numeric domain with the given name
+// ("const", "sign", or "interval"); nil if unknown.
+func DomainByName(name string) NumDomain {
+	switch name {
+	case "const":
+		return ConstDomain{}
+	case "sign":
+		return SignDomain{}
+	case "interval":
+		return IntervalDomain{}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+// Package absdom defines the abstract domains of the framework's abstract
+// semantics (paper §4 and §6): numeric domains (constancy, sign,
+// intervals) behind one interface, abstract pointers (points-to sets over
+// allocation sites folded by k-limited birthdates), abstract function
+// values, and abstract stores with weak updates.
+//
+// Choosing a different NumDomain instantiates a different abstract
+// semantics — the paper's observation that every choice of abstraction
+// "automatically suggests a different folding mechanism".
+package absdom
+
+import (
+	"fmt"
+
+	"psa/internal/lang"
+	"psa/internal/lattice"
+)
+
+// Num is an abstract integer: an element of the numeric domain that
+// produced it. Nums from different domains must not be mixed.
+type Num interface {
+	// Dom returns the owning domain.
+	Dom() NumDomain
+	// IsBot reports whether the element is ⊥ (no concrete value).
+	IsBot() bool
+	// IsTop reports whether the element is ⊤.
+	IsTop() bool
+	// Covers reports γ-membership of the concrete integer.
+	Covers(n int64) bool
+	// AsConst returns the single concrete value, if the element denotes
+	// exactly one.
+	AsConst() (int64, bool)
+	fmt.Stringer
+}
+
+// NumDomain is a family of abstract integers with transfer functions.
+type NumDomain interface {
+	Name() string
+	Bot() Num
+	Top() Num
+	// Of abstracts a concrete integer.
+	Of(n int64) Num
+	// Join, Meet, Widen, Leq, Eq operate on elements of this domain.
+	Join(a, b Num) Num
+	Widen(older, newer Num) Num
+	Leq(a, b Num) bool
+	Eq(a, b Num) bool
+	// Binop applies an arithmetic or comparison operator abstractly.
+	// Comparison results are abstract booleans (0, 1, or their join).
+	Binop(op lang.TokKind, a, b Num) Num
+	// Neg negates.
+	Neg(a Num) Num
+	// Truth reports which boolean outcomes the element allows.
+	Truth(a Num) (mayTrue, mayFalse bool)
+}
+
+// hull returns a conservative interval enclosure of any Num (used for the
+// generic comparison fallback).
+type huller interface{ hull() lattice.Ival }
+
+// genericBinop implements arithmetic and comparisons via interval hulls,
+// then re-abstracts through the domain's fromIval quantizer. Exact
+// constant arithmetic is handled by the callers where possible.
+func genericBinop(d NumDomain, from func(lattice.Ival) Num, op lang.TokKind, a, b Num) Num {
+	ha, hb := a.(huller).hull(), b.(huller).hull()
+	if ha.Empty || hb.Empty {
+		return d.Bot()
+	}
+	switch op {
+	case lang.TokPlus:
+		return from(lattice.IvalAdd(ha, hb))
+	case lang.TokMinus:
+		return from(lattice.IvalSub(ha, hb))
+	case lang.TokStar:
+		return from(lattice.IvalMul(ha, hb))
+	case lang.TokSlash, lang.TokPercent:
+		// Division is kept coarse: any result. (Division by zero leads to
+		// an error configuration in the concrete semantics; the abstract
+		// semantics over-approximates the non-error continuations.)
+		return d.Top()
+	case lang.TokEq, lang.TokNe, lang.TokLt, lang.TokLe, lang.TokGt, lang.TokGe:
+		t, f := cmpIntervals(op, ha, hb)
+		return boolNum(d, t, f)
+	case lang.TokAnd, lang.TokParallel:
+		at, af := truthIval(ha)
+		bt, bf := truthIval(hb)
+		if op == lang.TokAnd {
+			return boolNum(d, at && bt, af || bf)
+		}
+		return boolNum(d, at || bt, af && bf)
+	}
+	return d.Top()
+}
+
+// cmpIntervals decides which truth values a comparison may take over the
+// interval enclosures.
+func cmpIntervals(op lang.TokKind, a, b lattice.Ival) (mayTrue, mayFalse bool) {
+	switch op {
+	case lang.TokLt:
+		return a.Lo < b.Hi, a.Hi >= b.Lo
+	case lang.TokLe:
+		return a.Lo <= b.Hi, a.Hi > b.Lo
+	case lang.TokGt:
+		return a.Hi > b.Lo, a.Lo <= b.Hi
+	case lang.TokGe:
+		return a.Hi >= b.Lo, a.Lo < b.Hi
+	case lang.TokEq:
+		overlap := a.Lo <= b.Hi && b.Lo <= a.Hi
+		single := a.Lo == a.Hi && b.Lo == b.Hi && a.Lo == b.Lo
+		return overlap, !single
+	case lang.TokNe:
+		overlap := a.Lo <= b.Hi && b.Lo <= a.Hi
+		single := a.Lo == a.Hi && b.Lo == b.Hi && a.Lo == b.Lo
+		return !single, overlap
+	}
+	return true, true
+}
+
+func truthIval(a lattice.Ival) (mayTrue, mayFalse bool) {
+	if a.Empty {
+		return false, false
+	}
+	mayFalse = a.Lo <= 0 && 0 <= a.Hi
+	mayTrue = a.Lo != 0 || a.Hi != 0
+	return
+}
+
+func boolNum(d NumDomain, mayTrue, mayFalse bool) Num {
+	switch {
+	case mayTrue && mayFalse:
+		return d.Join(d.Of(0), d.Of(1))
+	case mayTrue:
+		return d.Of(1)
+	case mayFalse:
+		return d.Of(0)
+	default:
+		return d.Bot()
+	}
+}

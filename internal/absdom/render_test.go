@@ -1,0 +1,152 @@
+package absdom
+
+import (
+	"strings"
+	"testing"
+
+	"psa/internal/lang"
+)
+
+func TestDomainWidenCoversBoth(t *testing.T) {
+	for _, d := range allDomains {
+		a, b := d.Of(1), d.Of(5)
+		w := d.Widen(a, b)
+		if !d.Leq(a, w) || !d.Leq(b, w) {
+			t.Errorf("%s: Widen does not cover its arguments: %s", d.Name(), w)
+		}
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	d := ConstDomain{}
+	cases := []struct {
+		v    Value
+		want []string
+	}{
+		{OfInt(d, 42), []string{"42"}},
+		{OfPtr(d, Target{Heap: true, Site: 7, Birth: "x"}), []string{"ptr", "h@7[x]"}},
+		{OfFn(d, 2), []string{"fn", "2"}},
+		{OfUndef(d), []string{"undef?"}},
+		{Bot(d), []string{"⊥"}},
+		{TopValue(d), []string{"⊤", "undef?"}},
+	}
+	for _, c := range cases {
+		got := c.v.String()
+		for _, w := range c.want {
+			if !strings.Contains(got, w) {
+				t.Errorf("%v renders as %q, want it to contain %q", c.v, got, w)
+			}
+		}
+	}
+}
+
+func TestTargetString(t *testing.T) {
+	if got := (Target{Index: 3}).String(); got != "g3" {
+		t.Errorf("global target renders as %q", got)
+	}
+	if got := (Target{Heap: true, Site: 9}).String(); got != "h@9" {
+		t.Errorf("heap target renders as %q", got)
+	}
+}
+
+func TestStoreLoadAndDomain(t *testing.T) {
+	d := SignDomain{}
+	s := NewStore(d, []int64{-3, 0})
+	if s.Domain().Name() != "sign" {
+		t.Error("Domain accessor broken")
+	}
+	if v := s.Load(Target{Index: 0}); !v.CoversInt(-3) {
+		t.Errorf("Load(global) = %s", v)
+	}
+	ht := Target{Heap: true, Site: 1}
+	s2 := s.JoinHeap(ht, OfInt(d, 7))
+	if v := s2.Load(ht); !v.CoversInt(7) {
+		t.Errorf("Load(heap) = %s", v)
+	}
+	if v := s.Load(ht); !v.IsBot() {
+		t.Errorf("unwritten heap summary should be ⊥, got %s", v)
+	}
+}
+
+func TestStoreEqAndString(t *testing.T) {
+	d := ConstDomain{}
+	a := NewStore(d, []int64{1})
+	b := NewStore(d, []int64{1})
+	if !a.Eq(b) {
+		t.Error("identical stores not Eq")
+	}
+	c := a.SetGlobal(0, OfInt(d, 2))
+	if a.Eq(c) {
+		t.Error("different stores Eq")
+	}
+	out := c.JoinHeap(Target{Heap: true, Site: 4}, OfInt(d, 9)).String()
+	for _, w := range []string{"g0=2", "h@4=9"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("store renders as %q, want %q", out, w)
+		}
+	}
+}
+
+func TestValueAsSingleConst(t *testing.T) {
+	d := ConstDomain{}
+	if c, ok := OfInt(d, 5).AsSingleConst(); !ok || c != 5 {
+		t.Error("plain constant not recognized")
+	}
+	if _, ok := OfInt(d, 5).Join(OfUndef(d)).AsSingleConst(); ok {
+		t.Error("undef-tainted value is not a single constant")
+	}
+	if _, ok := OfInt(d, 5).Join(OfPtr(d, Target{Index: 0})).AsSingleConst(); ok {
+		t.Error("pointer-tainted value is not a single constant")
+	}
+	if _, ok := OfInt(d, 5).Join(OfFn(d, 1)).AsSingleConst(); ok {
+		t.Error("function-tainted value is not a single constant")
+	}
+}
+
+func TestValueCoverAccessors(t *testing.T) {
+	d := ConstDomain{}
+	v := OfFn(d, 3).Join(OfUndef(d))
+	if !v.CoversFn(3) || v.CoversFn(4) {
+		t.Error("CoversFn broken")
+	}
+	if !v.CoversUndef() {
+		t.Error("CoversUndef broken")
+	}
+	fns, finite := v.FnTargets()
+	if !finite || len(fns) != 1 || fns[0] != 3 {
+		t.Errorf("FnTargets = %v, %v", fns, finite)
+	}
+	if _, finite := TopValue(d).FnTargets(); finite {
+		t.Error("⊤ function set should not be finite")
+	}
+	if ts, finite := TopValue(d).PtrTargets(); finite || ts != nil {
+		t.Error("⊤ pointer set should not be finite")
+	}
+}
+
+func TestSignNumAsConstZero(t *testing.T) {
+	d := SignDomain{}
+	if c, ok := d.Of(0).AsConst(); !ok || c != 0 {
+		t.Error("sign {0} denotes exactly zero")
+	}
+	if _, ok := d.Of(5).AsConst(); ok {
+		t.Error("sign {+} denotes many values")
+	}
+}
+
+func TestDomainElementStrings(t *testing.T) {
+	for _, d := range allDomains {
+		for _, n := range []Num{d.Bot(), d.Of(-2), d.Of(0), d.Of(3), d.Top()} {
+			if n.String() == "" {
+				t.Errorf("%s: empty rendering", d.Name())
+			}
+		}
+	}
+}
+
+func TestGenericBinopUnknownOpIsTop(t *testing.T) {
+	d := IntervalDomain{}
+	if got := d.Binop(lang.TokAmp, d.Of(1), d.Of(2)); !got.IsTop() {
+		t.Errorf("unknown operator should be ⊤, got %s", got)
+	}
+}

@@ -1,0 +1,191 @@
+package absdom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Store is the abstract shared store: one abstract value per global and
+// one summary value per abstract heap object (field-insensitive: all
+// cells of all objects from one site/birthdate fold together). Stores are
+// immutable; updates return new stores sharing structure.
+type Store struct {
+	dom     NumDomain
+	globals []Value
+	heap    map[Target]Value
+}
+
+// NewStore builds the initial abstract store for the given globals.
+func NewStore(d NumDomain, inits []int64) *Store {
+	g := make([]Value, len(inits))
+	for i, n := range inits {
+		g[i] = OfInt(d, n)
+	}
+	return &Store{dom: d, globals: g, heap: map[Target]Value{}}
+}
+
+// Domain returns the numeric domain of the store.
+func (s *Store) Domain() NumDomain { return s.dom }
+
+// Global returns the abstract value of global i.
+func (s *Store) Global(i int) Value { return s.globals[i] }
+
+// Heap returns the summary value of the abstract object (⊥ if absent:
+// nothing was ever stored there).
+func (s *Store) Heap(t Target) Value {
+	if v, ok := s.heap[t]; ok {
+		return v
+	}
+	return Bot(s.dom)
+}
+
+// Load reads through an abstract pointer target.
+func (s *Store) Load(t Target) Value {
+	if !t.Heap {
+		return s.Global(t.Index)
+	}
+	return s.Heap(t)
+}
+
+// SetGlobal strongly updates global i (one concrete cell per global, so
+// strong updates are sound when exactly one target is possible).
+func (s *Store) SetGlobal(i int, v Value) *Store {
+	ns := s.shallow()
+	ns.globals = append([]Value(nil), s.globals...)
+	ns.globals[i] = v
+	return ns
+}
+
+// JoinGlobal weakly updates global i.
+func (s *Store) JoinGlobal(i int, v Value) *Store {
+	return s.SetGlobal(i, s.globals[i].Join(v))
+}
+
+// JoinHeap weakly updates the abstract object (heap summaries stand for
+// many concrete cells, so updates are always weak).
+func (s *Store) JoinHeap(t Target, v Value) *Store {
+	old := s.Heap(t)
+	nv := old.Join(v)
+	if nv.Eq(old) {
+		return s
+	}
+	ns := s.shallow()
+	ns.heap = make(map[Target]Value, len(s.heap)+1)
+	for k, w := range s.heap {
+		ns.heap[k] = w
+	}
+	ns.heap[t] = nv
+	return ns
+}
+
+// WriteTargets stores v through a points-to set: a strong update when the
+// set is a single global, weak updates otherwise. A ⊤ points-to set
+// clobbers every global and every known heap summary.
+func (s *Store) WriteTargets(ts []Target, all bool, v Value) *Store {
+	if all {
+		ns := s.shallow()
+		ns.globals = make([]Value, len(s.globals))
+		for i := range s.globals {
+			ns.globals[i] = s.globals[i].Join(v)
+		}
+		ns.heap = make(map[Target]Value, len(s.heap))
+		for k, w := range s.heap {
+			ns.heap[k] = w.Join(v)
+		}
+		return ns
+	}
+	if len(ts) == 1 && !ts[0].Heap {
+		return s.SetGlobal(ts[0].Index, v)
+	}
+	out := s
+	for _, t := range ts {
+		if t.Heap {
+			out = out.JoinHeap(t, v)
+		} else {
+			out = out.JoinGlobal(t.Index, v)
+		}
+	}
+	return out
+}
+
+func (s *Store) shallow() *Store {
+	return &Store{dom: s.dom, globals: s.globals, heap: s.heap}
+}
+
+// Join merges two stores pointwise.
+func (s *Store) Join(o *Store) *Store {
+	ns := &Store{dom: s.dom}
+	ns.globals = make([]Value, len(s.globals))
+	for i := range s.globals {
+		ns.globals[i] = s.globals[i].Join(o.globals[i])
+	}
+	ns.heap = make(map[Target]Value, len(s.heap)+len(o.heap))
+	for k, v := range s.heap {
+		ns.heap[k] = v
+	}
+	for k, v := range o.heap {
+		if w, ok := ns.heap[k]; ok {
+			ns.heap[k] = w.Join(v)
+		} else {
+			ns.heap[k] = v
+		}
+	}
+	return ns
+}
+
+// Widen widens s by o pointwise.
+func (s *Store) Widen(o *Store) *Store {
+	ns := &Store{dom: s.dom}
+	ns.globals = make([]Value, len(s.globals))
+	for i := range s.globals {
+		ns.globals[i] = s.globals[i].Widen(o.globals[i])
+	}
+	ns.heap = make(map[Target]Value, len(s.heap)+len(o.heap))
+	for k, v := range s.heap {
+		ns.heap[k] = v
+	}
+	for k, v := range o.heap {
+		if w, ok := ns.heap[k]; ok {
+			ns.heap[k] = w.Widen(v)
+		} else {
+			ns.heap[k] = v
+		}
+	}
+	return ns
+}
+
+// Leq reports pointwise ordering.
+func (s *Store) Leq(o *Store) bool {
+	for i := range s.globals {
+		if !s.globals[i].Leq(o.globals[i]) {
+			return false
+		}
+	}
+	for k, v := range s.heap {
+		if !v.Leq(o.Heap(k)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eq reports pointwise equality.
+func (s *Store) Eq(o *Store) bool { return s.Leq(o) && o.Leq(s) }
+
+// String renders the store deterministically.
+func (s *Store) String() string {
+	var parts []string
+	for i, v := range s.globals {
+		parts = append(parts, fmt.Sprintf("g%d=%s", i, v))
+	}
+	keys := make([]Target, 0, len(s.heap))
+	for k := range s.heap {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, s.heap[k]))
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

@@ -1,0 +1,194 @@
+package absdom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"psa/internal/lang"
+	"psa/internal/lattice"
+)
+
+// Target is an abstract pointer target: a global variable (Heap == false)
+// or the summary of all heap objects allocated at Site under the
+// k-limited birthdate Birth.
+type Target struct {
+	Heap  bool
+	Index int         // global index when !Heap
+	Site  lang.NodeID // allocation site when Heap
+	Birth string      // k-limited birthdate when Heap
+}
+
+// String renders the target.
+func (t Target) String() string {
+	if !t.Heap {
+		return fmt.Sprintf("g%d", t.Index)
+	}
+	if t.Birth == "" {
+		return fmt.Sprintf("h@%d", t.Site)
+	}
+	return fmt.Sprintf("h@%d[%s]", t.Site, t.Birth)
+}
+
+// Value is an abstract value: a product of the numeric component, the
+// may-point-to set, the may-function set, and a may-be-undefined flag.
+// The concretization is the union of the components' concretizations.
+type Value struct {
+	Num   Num
+	Ptrs  lattice.PSElem[Target]
+	Fns   lattice.PSElem[int]
+	Undef bool
+}
+
+var (
+	ptrL = lattice.Powerset[Target]{}
+	fnL  = lattice.Powerset[int]{}
+)
+
+// Bot returns the bottom abstract value for the domain.
+func Bot(d NumDomain) Value { return Value{Num: d.Bot()} }
+
+// OfInt abstracts a concrete integer.
+func OfInt(d NumDomain, n int64) Value { return Value{Num: d.Of(n)} }
+
+// OfPtr abstracts a pointer to the target.
+func OfPtr(d NumDomain, t Target) Value {
+	return Value{Num: d.Bot(), Ptrs: lattice.PS(t)}
+}
+
+// OfFn abstracts a function value.
+func OfFn(d NumDomain, index int) Value {
+	return Value{Num: d.Bot(), Fns: lattice.PS(index)}
+}
+
+// OfUndef abstracts the undefined value.
+func OfUndef(d NumDomain) Value { return Value{Num: d.Bot(), Undef: true} }
+
+// TopValue is the unconstrained value: any integer, any pointer, any
+// function, possibly undefined.
+func TopValue(d NumDomain) Value {
+	return Value{Num: d.Top(), Ptrs: ptrL.Top(), Fns: fnL.Top(), Undef: true}
+}
+
+// IsBot reports whether no concrete value is denoted.
+func (v Value) IsBot() bool {
+	return v.Num.IsBot() && ptrL.Eq(v.Ptrs, ptrL.Bot()) && fnL.Eq(v.Fns, fnL.Bot()) && !v.Undef
+}
+
+// Join returns the least upper bound.
+func (v Value) Join(w Value) Value {
+	return Value{
+		Num:   v.Num.Dom().Join(v.Num, w.Num),
+		Ptrs:  ptrL.Join(v.Ptrs, w.Ptrs),
+		Fns:   fnL.Join(v.Fns, w.Fns),
+		Undef: v.Undef || w.Undef,
+	}
+}
+
+// Widen applies widening on the numeric component (the set components
+// have finite height per program).
+func (v Value) Widen(w Value) Value {
+	return Value{
+		Num:   v.Num.Dom().Widen(v.Num, w.Num),
+		Ptrs:  ptrL.Join(v.Ptrs, w.Ptrs),
+		Fns:   fnL.Join(v.Fns, w.Fns),
+		Undef: v.Undef || w.Undef,
+	}
+}
+
+// Leq reports component-wise ordering.
+func (v Value) Leq(w Value) bool {
+	return v.Num.Dom().Leq(v.Num, w.Num) &&
+		ptrL.Leq(v.Ptrs, w.Ptrs) &&
+		fnL.Leq(v.Fns, w.Fns) &&
+		(!v.Undef || w.Undef)
+}
+
+// Eq reports component-wise equality.
+func (v Value) Eq(w Value) bool {
+	return v.Num.Dom().Eq(v.Num, w.Num) &&
+		ptrL.Eq(v.Ptrs, w.Ptrs) &&
+		fnL.Eq(v.Fns, w.Fns) &&
+		v.Undef == w.Undef
+}
+
+// MayTruth reports which boolean outcomes the value allows in a branch:
+// nonzero integers, pointers, and functions are true; zero is false.
+// An undefined component is an error concretely; it contributes neither.
+func (v Value) MayTruth() (mayTrue, mayFalse bool) {
+	t, f := v.Num.Dom().Truth(v.Num)
+	if !ptrL.Eq(v.Ptrs, ptrL.Bot()) || !fnL.Eq(v.Fns, fnL.Bot()) {
+		t = true
+	}
+	return t, f
+}
+
+// String renders the value compactly.
+func (v Value) String() string {
+	var parts []string
+	if !v.Num.IsBot() {
+		parts = append(parts, v.Num.String())
+	}
+	if !ptrL.Eq(v.Ptrs, ptrL.Bot()) {
+		parts = append(parts, "ptr"+ptrL.Format(v.Ptrs))
+	}
+	if !fnL.Eq(v.Fns, fnL.Bot()) {
+		parts = append(parts, "fn"+fnL.Format(v.Fns))
+	}
+	if v.Undef {
+		parts = append(parts, "undef?")
+	}
+	if len(parts) == 0 {
+		return "⊥"
+	}
+	return strings.Join(parts, "|")
+}
+
+// CoversInt reports γ-membership of a concrete integer.
+func (v Value) CoversInt(n int64) bool { return v.Num.Covers(n) }
+
+// AsSingleConst reports whether γ(v) is exactly one integer constant.
+func (v Value) AsSingleConst() (int64, bool) {
+	c, ok := v.Num.AsConst()
+	if !ok || v.Undef {
+		return 0, false
+	}
+	if v.Ptrs.All || v.Ptrs.S.Len() > 0 || v.Fns.All || v.Fns.S.Len() > 0 {
+		return 0, false
+	}
+	return c, true
+}
+
+// CoversFn reports γ-membership of a function value.
+func (v Value) CoversFn(index int) bool {
+	return v.Fns.All || v.Fns.S.Has(index)
+}
+
+// CoversUndef reports γ-membership of the undefined value.
+func (v Value) CoversUndef() bool { return v.Undef }
+
+// CoversPtrTarget reports whether some pointer in γ(v) may point at the
+// target.
+func (v Value) CoversPtrTarget(t Target) bool {
+	return v.Ptrs.All || v.Ptrs.S.Has(t)
+}
+
+// PtrTargets returns the sorted points-to set (nil, false when ⊤).
+func (v Value) PtrTargets() ([]Target, bool) {
+	if v.Ptrs.All {
+		return nil, false
+	}
+	out := v.Ptrs.S.Elems()
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out, true
+}
+
+// FnTargets returns the sorted may-function set (nil, false when ⊤).
+func (v Value) FnTargets() ([]int, bool) {
+	if v.Fns.All {
+		return nil, false
+	}
+	out := v.Fns.S.Elems()
+	sort.Ints(out)
+	return out, true
+}

@@ -1,0 +1,250 @@
+package abssem
+
+import (
+	"testing"
+
+	"psa/internal/absdom"
+	"psa/internal/lang"
+)
+
+func TestAbstractUnaryOps(t *testing.T) {
+	prog := lang.MustParse(`
+var a; var b; var c;
+func main() {
+  a = -(3 + 4);
+  b = !0;
+  c = !7;
+}
+`)
+	res := analyze(t, prog, Options{Domain: absdom.ConstDomain{}})
+	if v, _ := res.GlobalInvariant("a"); !v.CoversInt(-7) {
+		t.Errorf("a = %s, want -7", v)
+	}
+	if v, _ := res.GlobalInvariant("b"); !v.CoversInt(1) {
+		t.Errorf("b = %s, want 1", v)
+	}
+	if v, _ := res.GlobalInvariant("c"); !v.CoversInt(0) {
+		t.Errorf("c = %s, want 0", v)
+	}
+}
+
+func TestAbstractPointerArith(t *testing.T) {
+	prog := lang.MustParse(`
+var out;
+func main() {
+  var p = malloc(3);
+  *(p + 1) = 5;
+  var q = p + 2;
+  out = *(q - 1);
+}
+`)
+	// Field-insensitive heap: all cells fold, so out must cover 5 (and
+	// possibly undef).
+	res := analyze(t, prog, Options{Domain: absdom.ConstDomain{}})
+	v, _ := res.GlobalInvariant("out")
+	if !v.CoversInt(5) {
+		t.Errorf("out = %s, must cover 5", v)
+	}
+}
+
+func TestAbstractDerefOfNumberIsError(t *testing.T) {
+	prog := lang.MustParse(`
+var out;
+func main() {
+  var x = 5;
+  out = *x;
+}
+`)
+	res := Analyze(prog, Options{Domain: absdom.ConstDomain{}})
+	if !res.MayError {
+		t.Error("deref of an integer must set MayError")
+	}
+	if res.Terminal != nil {
+		t.Error("no normal continuation exists")
+	}
+}
+
+func TestAbstractPointerComparison(t *testing.T) {
+	prog := lang.MustParse(`
+var eq;
+func main() {
+  var p = malloc(1);
+  var q = malloc(1);
+  eq = p == q;
+}
+`)
+	res := analyze(t, prog, Options{Domain: absdom.ConstDomain{}})
+	v, _ := res.GlobalInvariant("eq")
+	// Abstract pointer comparison: both outcomes possible.
+	if !v.CoversInt(0) || !v.CoversInt(1) {
+		t.Errorf("eq = %s, must cover 0 and 1", v)
+	}
+}
+
+func TestAbstractGlobalPointerRoundTrip(t *testing.T) {
+	prog := lang.MustParse(`
+var g = 3; var out;
+func main() {
+  var p = &g;
+  var q = p;
+  *q = *q + 1;
+  out = g;
+}
+`)
+	res := analyze(t, prog, Options{Domain: absdom.ConstDomain{}})
+	v, _ := res.GlobalInvariant("out")
+	if c, ok := v.AsSingleConst(); !ok || c != 4 {
+		t.Errorf("out = %s, want exactly 4", v)
+	}
+}
+
+func TestAbstractMixedPointsTo(t *testing.T) {
+	// p may point at g1 or g2: writes become weak, reads join.
+	prog := lang.MustParse(`
+var g1 = 1; var g2 = 2; var sel; var out;
+func main() {
+  cobegin { sel = 0; } || { sel = 1; } coend
+  var p = &g1;
+  if sel == 1 { p = &g2; }
+  *p = 9;
+  out = *p;
+}
+`)
+	res := analyze(t, prog, Options{Domain: absdom.ConstDomain{}})
+	v, _ := res.GlobalInvariant("out")
+	if !v.CoversInt(9) {
+		t.Errorf("out = %s, must cover 9", v)
+	}
+	// Weak update: g1 may keep its old value.
+	g1, _ := res.GlobalInvariant("g1")
+	if !g1.CoversInt(1) || !g1.CoversInt(9) {
+		t.Errorf("g1 = %s, must cover both 1 and 9 (weak update)", g1)
+	}
+}
+
+func TestAbstractFreeMayError(t *testing.T) {
+	prog := lang.MustParse(`
+var out;
+func main() {
+  var p = malloc(1);
+  *p = 1;
+  free(p);
+  out = 1;
+}
+`)
+	res := analyze(t, prog, Options{Domain: absdom.ConstDomain{}})
+	// free folds objects: later accesses may dangle, so free is flagged
+	// conservatively.
+	if !res.MayError {
+		t.Error("abstract free should set MayError (possible dangling in the fold)")
+	}
+	if v, _ := res.GlobalInvariant("out"); !v.CoversInt(1) {
+		t.Errorf("out = %s, execution continues past free", v)
+	}
+}
+
+func TestAbstractWhileNeverTrue(t *testing.T) {
+	prog := lang.MustParse(`
+var out;
+func main() {
+  var i = 5;
+  while i < 0 { i = i + 1; }
+  out = i;
+}
+`)
+	res := analyze(t, prog, Options{Domain: absdom.ConstDomain{}})
+	v, _ := res.GlobalInvariant("out")
+	if c, ok := v.AsSingleConst(); !ok || c != 5 {
+		t.Errorf("out = %s, want exactly 5 (loop body dead)", v)
+	}
+}
+
+func TestAbstractIndirectCallAllCallees(t *testing.T) {
+	// The callee is chosen by a racy selector; both callees' effects must
+	// be covered.
+	prog := lang.MustParse(`
+var sel; var out;
+func ten() { return 10; }
+func twenty() { return 20; }
+func main() {
+  cobegin { sel = 0; } || { sel = 1; } coend
+  var f = ten;
+  if sel == 1 { f = twenty; }
+  out = f();
+}
+`)
+	res := analyze(t, prog, Options{Domain: absdom.ConstDomain{}})
+	v, _ := res.GlobalInvariant("out")
+	if !v.CoversInt(10) || !v.CoversInt(20) {
+		t.Errorf("out = %s, must cover 10 and 20", v)
+	}
+}
+
+func TestAbstractArityMismatchOnIndirect(t *testing.T) {
+	prog := lang.MustParse(`
+var sel; var out;
+func one(a) { return a; }
+func zero() { return 7; }
+func main() {
+  cobegin { sel = 0; } || { sel = 1; } coend
+  var f = zero;
+  if sel == 1 { f = one; }
+  out = f();
+}
+`)
+	res := Analyze(prog, Options{Domain: absdom.ConstDomain{}})
+	if !res.MayError {
+		t.Error("calling one() with zero args is a possible fault; MayError expected")
+	}
+	// The zero() branch still succeeds.
+	if v, ok := res.GlobalInvariant("out"); !ok || !v.CoversInt(7) {
+		t.Errorf("out should cover 7 from the good callee, got %v (ok=%v)", v, ok)
+	}
+}
+
+func TestAbstractNestedCobegin(t *testing.T) {
+	prog := lang.MustParse(`
+var a; var b; var c;
+func main() {
+  cobegin {
+    cobegin { a = 1; } || { b = 2; } coend
+  } || { c = 3; } coend
+}
+`)
+	res := analyze(t, prog, Options{Domain: absdom.ConstDomain{}})
+	for name, want := range map[string]int64{"a": 1, "b": 2, "c": 3} {
+		if v, _ := res.GlobalInvariant(name); !v.CoversInt(want) {
+			t.Errorf("%s must cover %d, got %s", name, want, v)
+		}
+	}
+}
+
+func TestAbstractSignDivisionCoarse(t *testing.T) {
+	prog := lang.MustParse(`
+var out;
+func main() {
+  var a = 10;
+  var b = 3;
+  out = a / b;
+}
+`)
+	res := analyze(t, prog, Options{Domain: absdom.SignDomain{}})
+	v, _ := res.GlobalInvariant("out")
+	if !v.CoversInt(3) {
+		t.Errorf("out = %s, must cover 3", v)
+	}
+}
+
+func TestAbstractStatesDeterministic(t *testing.T) {
+	prog := lang.MustParse(`
+var g;
+func main() {
+  cobegin { g = g + 1; } || { g = g * 2; } coend
+}
+`)
+	r1 := Analyze(prog, Options{Domain: absdom.IntervalDomain{}})
+	r2 := Analyze(prog, Options{Domain: absdom.IntervalDomain{}})
+	if r1.States != r2.States || r1.Visits != r2.Visits {
+		t.Errorf("abstract interpretation nondeterministic: %s vs %s", r1, r2)
+	}
+}

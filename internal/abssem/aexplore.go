@@ -1,0 +1,271 @@
+package abssem
+
+import (
+	"fmt"
+	"sort"
+
+	"psa/internal/absdom"
+	"psa/internal/lang"
+	"psa/internal/sem"
+)
+
+// Options configures an abstract interpretation.
+type Options struct {
+	// Domain is the numeric abstract domain (default absdom.ConstDomain).
+	Domain absdom.NumDomain
+	// KBirth is the k-limit for birthdate abstraction (default 2).
+	KBirth int
+	// RecLimit bounds simultaneous activations of one function; deeper
+	// recursion is havocked through its static effect summary (default 3).
+	RecLimit int
+	// ClanFold merges cobegin arms with identical bodies into one
+	// abstract process (§6.2, McDowell's clans).
+	ClanFold bool
+	// MaxStates bounds the number of abstract configurations (default
+	// 1<<18).
+	MaxStates int
+	// WidenAfter is the number of joins at one control point before
+	// widening kicks in (default 4).
+	WidenAfter int
+	// CollectFootprints records per-statement abstract access footprints
+	// (Result.FootprintOf / Conflicts) — the §5.2 dependences computed
+	// from the abstract semantics with no concrete exploration.
+	CollectFootprints bool
+}
+
+func (o *Options) fill() {
+	if o.Domain == nil {
+		o.Domain = absdom.ConstDomain{}
+	}
+	if o.KBirth == 0 {
+		o.KBirth = 2
+	}
+	if o.RecLimit == 0 {
+		o.RecLimit = 3
+	}
+	if o.MaxStates == 0 {
+		o.MaxStates = 1 << 18
+	}
+	if o.WidenAfter == 0 {
+		o.WidenAfter = 4
+	}
+}
+
+// Result summarizes an abstract interpretation.
+type Result struct {
+	// States is the number of distinct abstract configurations (control
+	// points after Taylor folding; the quantity of paper Figure 3).
+	States int
+	// Visits counts worklist processing rounds (cost proxy).
+	Visits int
+	// Terminal is the join of the stores of all terminal abstract
+	// configurations (nil when none was reached).
+	Terminal *absdom.Store
+	// TerminalCount is the number of terminal abstract configurations.
+	TerminalCount int
+	// MayError reports that some folded execution may fault.
+	MayError bool
+	// Truncated reports that MaxStates was hit.
+	Truncated bool
+
+	prog *lang.Program
+	foot *footRec
+	// at maps a statement to the join of the stores of every abstract
+	// configuration in which some process is about to execute it: the
+	// program-point invariant clients (e.g. the optimization oracle of
+	// package apps) query.
+	at map[lang.NodeID]*absdom.Store
+}
+
+// InvariantAt returns the abstract store holding whenever the statement
+// with the given ID is about to execute (nil if never reached).
+func (r *Result) InvariantAt(id lang.NodeID) *absdom.Store { return r.at[id] }
+
+// GlobalAt returns the abstract value of the named global at the labeled
+// statement (ok=false when the label is unknown or unreached).
+func (r *Result) GlobalAt(label, global string) (absdom.Value, bool) {
+	s := r.prog.StmtByLabel(label)
+	g := r.prog.Global(global)
+	if s == nil || g == nil {
+		return absdom.Value{}, false
+	}
+	st := r.at[s.NodeID()]
+	if st == nil {
+		return absdom.Value{}, false
+	}
+	return st.Global(g.Index), true
+}
+
+// Unreachable returns every statement the abstract interpretation never
+// reached, in source order: dead branches of decided conditionals, code
+// after constant-false loops, bodies of uncalled procedures. Because the
+// abstraction over-approximates, "unreached abstractly" implies
+// "unreachable concretely" — a sound dead-code report.
+func (r *Result) Unreachable() []lang.Stmt {
+	var out []lang.Stmt
+	for _, f := range r.prog.Funcs {
+		lang.WalkStmts(f.Body, func(s lang.Stmt) {
+			if _, reached := r.at[s.NodeID()]; !reached {
+				out = append(out, s)
+			}
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].NodePos(), out[j].NodePos()
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Col < pj.Col
+	})
+	return out
+}
+
+// GlobalInvariant returns the abstract value of the named global at
+// program termination (Bot if the program never terminates abstractly).
+func (r *Result) GlobalInvariant(name string) (absdom.Value, bool) {
+	g := r.prog.Global(name)
+	if g == nil || r.Terminal == nil {
+		return absdom.Value{}, false
+	}
+	return r.Terminal.Global(g.Index), true
+}
+
+// aState is the stored value state at one control point.
+type aState struct {
+	cfg    *AConfig
+	visits int
+	queued bool
+}
+
+// Analyze runs the abstract interpretation of prog to a fixpoint.
+func Analyze(prog *lang.Program, opts Options) *Result {
+	opts.fill()
+	sc := &stepCtx{
+		prog:    prog,
+		dom:     opts.Domain,
+		sums:    sem.NewSummaries(prog),
+		sharing: lang.AnalyzeSharing(prog),
+		kBirth:  opts.KBirth,
+		recLim:  opts.RecLimit,
+		clan:    opts.ClanFold,
+	}
+	if opts.CollectFootprints {
+		sc.foot = &footRec{m: map[lang.NodeID]map[AbsAccess]bool{}}
+	}
+	res := &Result{prog: prog, foot: sc.foot}
+
+	init := initialConfig(prog, opts.Domain)
+	states := map[ctrlSig]*aState{}
+	sig0 := init.signature()
+	states[sig0] = &aState{cfg: init, queued: true}
+	queue := []ctrlSig{sig0}
+
+	for len(queue) > 0 {
+		sig := queue[0]
+		queue = queue[1:]
+		stv := states[sig]
+		stv.queued = false
+		stv.visits++
+		res.Visits++
+
+		enabled := stv.cfg.enabled()
+		if len(enabled) == 0 {
+			continue // terminal; collected after the fixpoint
+		}
+		for _, pi := range enabled {
+			for _, succ := range sc.step(stv.cfg, pi) {
+				if succ.Procs == nil {
+					// Error witness: no continuation.
+					if succ.MayError {
+						res.MayError = true
+					}
+					continue
+				}
+				if succ.MayError {
+					res.MayError = true
+				}
+				nsig := succ.signature()
+				cur, ok := states[nsig]
+				if !ok {
+					if len(states) >= opts.MaxStates {
+						res.Truncated = true
+						res.States = len(states)
+						return res
+					}
+					cur = &aState{cfg: succ.deepCopy()}
+					states[nsig] = cur
+					cur.queued = true
+					queue = append(queue, nsig)
+					continue
+				}
+				widen := cur.visits >= opts.WidenAfter
+				if cur.cfg.joinInto(succ, widen) && !cur.queued {
+					cur.queued = true
+					queue = append(queue, nsig)
+				}
+			}
+		}
+	}
+
+	res.States = len(states)
+	res.at = map[lang.NodeID]*absdom.Store{}
+	for _, stv := range states {
+		for _, p := range stv.cfg.Procs {
+			if p.Status != Running {
+				continue
+			}
+			if s := nextStmt(p); s != nil {
+				if cur, ok := res.at[s.NodeID()]; ok {
+					res.at[s.NodeID()] = cur.Join(stv.cfg.Store)
+				} else {
+					res.at[s.NodeID()] = stv.cfg.Store
+				}
+			}
+		}
+		if len(stv.cfg.enabled()) == 0 {
+			res.TerminalCount++
+			if res.Terminal == nil {
+				res.Terminal = stv.cfg.Store
+			} else {
+				res.Terminal = res.Terminal.Join(stv.cfg.Store)
+			}
+			if stv.cfg.MayError {
+				res.MayError = true
+			}
+		}
+	}
+	return res
+}
+
+// initialConfig builds the abstract initial configuration.
+func initialConfig(prog *lang.Program, d absdom.NumDomain) *AConfig {
+	main := prog.Func("main")
+	info := prog.ResolvedInfo().Funcs[main]
+	locals := make([]absdom.Value, info.FrameSize)
+	for i := range locals {
+		locals[i] = absdom.OfUndef(d)
+	}
+	inits := make([]int64, len(prog.Globals))
+	for i, g := range prog.Globals {
+		inits[i] = g.Init
+	}
+	root := &AProc{
+		Path:   "0",
+		Status: Running,
+		Frames: []*AFrame{{
+			Fn:     main,
+			Locals: locals,
+			Blocks: []blockPos{{block: main.Body, idx: 0}},
+		}},
+	}
+	return &AConfig{
+		Procs: []*AProc{root},
+		Store: absdom.NewStore(d, inits),
+	}
+}
+
+// String renders the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("abstract states=%d visits=%d terminals=%d mayError=%v truncated=%v",
+		r.States, r.Visits, r.TerminalCount, r.MayError, r.Truncated)
+}

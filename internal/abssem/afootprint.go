@@ -1,0 +1,127 @@
+package abssem
+
+import (
+	"sort"
+
+	"psa/internal/absdom"
+	"psa/internal/lang"
+	"psa/internal/pstring"
+)
+
+// AbsAccess is one element of an abstract footprint: a may-access to an
+// abstract target (or to everything, when a ⊤ points-to set was
+// dereferenced), performed by or on behalf of a statement.
+type AbsAccess struct {
+	Target absdom.Target
+	All    bool // access through a ⊤ pointer: may touch anything
+	Write  bool
+}
+
+// footRec accumulates per-statement abstract footprints during the
+// abstract interpretation — the paper's §5.2 dependences computed from
+// the abstract semantics itself, with no concrete exploration.
+type footRec struct {
+	m map[lang.NodeID]map[AbsAccess]bool
+}
+
+func (fr *footRec) add(stmt lang.NodeID, acc AbsAccess) {
+	if fr == nil || stmt == 0 {
+		return
+	}
+	s := fr.m[stmt]
+	if s == nil {
+		s = map[AbsAccess]bool{}
+		fr.m[stmt] = s
+	}
+	s[acc] = true
+}
+
+// record attributes an access to the current statement and, transitively,
+// to every call site on the process's procedure string (matching the
+// concrete collector's footprint attribution).
+func (st *astepper) record(acc AbsAccess) {
+	fr := st.sc.foot
+	if fr == nil {
+		return
+	}
+	fr.add(st.curStmt, acc)
+	for _, sym := range st.proc.PStr {
+		if sym.Kind == pstring.SymCall {
+			fr.add(lang.NodeID(sym.Site), acc)
+		}
+	}
+}
+
+// recordRead/recordWrite attribute target sets.
+func (st *astepper) recordRead(ts []absdom.Target, all bool) {
+	if st.sc.foot == nil {
+		return
+	}
+	if all {
+		st.record(AbsAccess{All: true})
+		return
+	}
+	for _, t := range ts {
+		st.record(AbsAccess{Target: t})
+	}
+}
+
+func (st *astepper) recordWrite(ts []absdom.Target, all bool) {
+	if st.sc.foot == nil {
+		return
+	}
+	if all {
+		st.record(AbsAccess{All: true, Write: true})
+		return
+	}
+	for _, t := range ts {
+		st.record(AbsAccess{Target: t, Write: true})
+	}
+}
+
+// FootprintOf returns the abstract footprint attributed to the labeled
+// statement, in deterministic order (nil when footprints were not
+// collected or the label is unknown).
+func (r *Result) FootprintOf(label string) []AbsAccess {
+	if r.foot == nil {
+		return nil
+	}
+	s := r.prog.StmtByLabel(label)
+	if s == nil {
+		return nil
+	}
+	m := r.foot.m[s.NodeID()]
+	out := make([]AbsAccess, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := out[i], out[j]
+		if ai.All != aj.All {
+			return !ai.All
+		}
+		if ai.Target.String() != aj.Target.String() {
+			return ai.Target.String() < aj.Target.String()
+		}
+		return !ai.Write && aj.Write
+	})
+	return out
+}
+
+// Conflicts reports whether the abstract footprints of two labeled
+// statements conflict: they may touch a common target (or one touches
+// everything) with at least one write.
+func (r *Result) Conflicts(labelA, labelB string) bool {
+	fa, fb := r.FootprintOf(labelA), r.FootprintOf(labelB)
+	for _, a := range fa {
+		for _, b := range fb {
+			if !a.Write && !b.Write {
+				continue
+			}
+			if a.All || b.All || a.Target == b.Target {
+				return true
+			}
+		}
+	}
+	return false
+}

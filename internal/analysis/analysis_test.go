@@ -1,0 +1,364 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"psa/internal/explore"
+	"psa/internal/lang"
+	"psa/internal/sem"
+	"psa/internal/workloads"
+)
+
+// collect explores prog fully with a collector attached.
+func collect(t *testing.T, prog *lang.Program) *Collector {
+	t.Helper()
+	cl := NewCollector(prog)
+	res := explore.Explore(prog, explore.Options{Reduction: explore.Full, Sink: cl})
+	if res.Truncated {
+		t.Fatal("exploration truncated")
+	}
+	return cl
+}
+
+func TestFig8Dependences(t *testing.T) {
+	cl := collect(t, workloads.Fig8Calls())
+	deps := cl.Dependences("s1", "s2", "s3", "s4")
+	var pairs []string
+	for _, d := range deps {
+		pairs = append(pairs, lang.DescribeStmt(d.A)+"-"+lang.DescribeStmt(d.B))
+	}
+	joined := strings.Join(pairs, " ")
+	if !strings.Contains(joined, "s1-s4") {
+		t.Errorf("missing dependence (s1,s4): %v", pairs)
+	}
+	if !strings.Contains(joined, "s2-s3") {
+		t.Errorf("missing dependence (s2,s3): %v", pairs)
+	}
+	// The paper's point: those are the ONLY dependences, so (s1;s2) can
+	// overlap (s3;s4).
+	for _, d := range deps {
+		p := lang.DescribeStmt(d.A) + "-" + lang.DescribeStmt(d.B)
+		if p != "s1-s4" && p != "s2-s3" {
+			t.Errorf("unexpected dependence %s (%s)", p, d)
+		}
+	}
+	// Kinds: s1 writes A, s4 reads A → flow; s2 reads B, s3 writes B → anti.
+	for _, d := range deps {
+		p := lang.DescribeStmt(d.A) + "-" + lang.DescribeStmt(d.B)
+		if p == "s1-s4" && d.Kind != DepFlow {
+			t.Errorf("s1-s4 kind = %s, want flow", d.Kind)
+		}
+		if p == "s2-s3" && d.Kind != DepAnti {
+			t.Errorf("s2-s3 kind = %s, want anti", d.Kind)
+		}
+	}
+}
+
+func TestFig8Independence(t *testing.T) {
+	cl := collect(t, workloads.Fig8Calls())
+	for _, pair := range [][2]string{{"s1", "s2"}, {"s1", "s3"}, {"s2", "s4"}, {"s3", "s4"}} {
+		if !cl.Independent(pair[0], pair[1]) {
+			t.Errorf("%s and %s should be independent", pair[0], pair[1])
+		}
+	}
+	if cl.Independent("s1", "s4") || cl.Independent("s2", "s3") {
+		t.Error("dependent pairs reported independent")
+	}
+}
+
+func TestFootprintTransitiveThroughCalls(t *testing.T) {
+	prog := lang.MustParse(`
+var g;
+func inner() { g = 1; return 0; }
+func outer() { inner(); return 0; }
+func main() {
+  s1: outer();
+}
+`)
+	cl := collect(t, prog)
+	fp := cl.Footprint(prog.StmtByLabel("s1").NodeID())
+	found := false
+	gi := prog.Global("g").Index
+	for _, e := range fp {
+		if !e.Loc.IsHeap() && e.Loc.Global == gi && e.Kind == sem.Write {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("footprint of s1 misses transitive write of g: %v", fp)
+	}
+}
+
+func TestSideEffectsClassification(t *testing.T) {
+	prog := workloads.SideEffects()
+	cl := collect(t, prog)
+
+	// writeG writes global g: a write side effect.
+	se := cl.SideEffects(prog.Func("writeG"))
+	if len(se) == 0 {
+		t.Fatal("writeG has no side effects?")
+	}
+	hasWrite := false
+	for _, e := range se {
+		if e.Kind == sem.Write && !e.Loc.IsHeap() {
+			hasWrite = true
+		}
+	}
+	if !hasWrite {
+		t.Errorf("writeG side effects = %v, want a global write", se)
+	}
+
+	// readG reads global g: a read side effect only.
+	se = cl.SideEffects(prog.Func("readG"))
+	for _, e := range se {
+		if e.Kind == sem.Write {
+			t.Errorf("readG should not have write side effects: %v", se)
+		}
+	}
+	if len(se) == 0 {
+		t.Error("readG should have a read side effect on g")
+	}
+
+	// pureLocal allocates, writes, and reads only its own object: pure.
+	if se = cl.SideEffects(prog.Func("pureLocal")); len(se) != 0 {
+		t.Errorf("pureLocal should be side-effect free, got %v", se)
+	}
+
+	// touchArg writes through its parameter: a heap write side effect
+	// (the object was born in the caller).
+	se = cl.SideEffects(prog.Func("touchArg"))
+	hasHeapWrite := false
+	for _, e := range se {
+		if e.Kind == sem.Write && e.Loc.IsHeap() {
+			hasHeapWrite = true
+		}
+	}
+	if !hasHeapWrite {
+		t.Errorf("touchArg side effects = %v, want a heap write", se)
+	}
+}
+
+func TestMemPlacement(t *testing.T) {
+	cl := collect(t, workloads.MemPlacement())
+
+	b1 := cl.PlacementFor("b1")
+	if b1 == nil {
+		t.Fatal("no placement for b1")
+	}
+	if b1.Local {
+		t.Errorf("b1 accessed by both arms must be shared, got %s", b1)
+	}
+
+	b2 := cl.PlacementFor("b2")
+	if b2 == nil {
+		t.Fatal("no placement for b2")
+	}
+	if !b2.Local {
+		t.Errorf("b2 accessed by one arm must be local, got %s", b2)
+	}
+	if b2.Level != "0/1" {
+		t.Errorf("b2 local to %q, want arm 0/1", b2.Level)
+	}
+}
+
+func TestStackAllocatable(t *testing.T) {
+	prog := lang.MustParse(`
+var sink;
+func compute() {
+  bloc: var p = malloc(1);
+  *p = 21;
+  var t = *p;
+  return t * 2;
+}
+func main() {
+  sink = compute();
+}
+`)
+	cl := collect(t, prog)
+	pl := cl.PlacementFor("bloc")
+	if pl == nil {
+		t.Fatal("no placement for bloc")
+	}
+	if !pl.StackAllocatable {
+		t.Errorf("object never escaping compute() should be stack-allocatable: %s", pl)
+	}
+}
+
+func TestEscapingNotStackAllocatable(t *testing.T) {
+	prog := lang.MustParse(`
+var sink;
+func mk() {
+  bloc: var p = malloc(1);
+  *p = 5;
+  return p;
+}
+func main() {
+  var q = mk();
+  sink = *q;
+}
+`)
+	cl := collect(t, prog)
+	pl := cl.PlacementFor("bloc")
+	if pl == nil {
+		t.Fatal("no placement for bloc")
+	}
+	if pl.StackAllocatable {
+		t.Errorf("object returned from mk() escapes; got %s", pl)
+	}
+}
+
+func TestFreedNotStackAllocatable(t *testing.T) {
+	prog := lang.MustParse(`
+func main() {
+  bloc: var p = malloc(1);
+  *p = 1;
+  free(p);
+}
+`)
+	cl := collect(t, prog)
+	pl := cl.PlacementFor("bloc")
+	if pl == nil {
+		t.Fatal("no placement")
+	}
+	if pl.StackAllocatable {
+		t.Error("explicitly freed object should not be marked stack-allocatable")
+	}
+}
+
+func TestAnomalies(t *testing.T) {
+	prog := lang.MustParse(`
+var g;
+func main() {
+  cobegin { w1: g = 1; } || { w2: g = 2; } coend
+}
+`)
+	cl := collect(t, prog)
+	as := cl.Anomalies()
+	if len(as) == 0 {
+		t.Fatal("write/write race not reported")
+	}
+	foundWW := false
+	for _, a := range as {
+		if a.WriteWrite {
+			foundWW = true
+		}
+	}
+	if !foundWW {
+		t.Error("conflict should be write/write")
+	}
+}
+
+func TestNoAnomaliesWhenDisjoint(t *testing.T) {
+	prog := lang.MustParse(`
+var a; var b;
+func main() {
+  cobegin { a = 1; } || { b = 2; } coend
+}
+`)
+	cl := collect(t, prog)
+	if as := cl.Anomalies(); len(as) != 0 {
+		t.Errorf("disjoint arms reported anomalies: %v", as)
+	}
+}
+
+func TestConcurrentDependenceFlagged(t *testing.T) {
+	prog := lang.MustParse(`
+var g;
+func main() {
+  cobegin { w1: g = 1; } || { r1: var t = g; g = t; } coend
+}
+`)
+	cl := collect(t, prog)
+	deps := cl.Dependences("w1", "r1")
+	if len(deps) == 0 {
+		t.Fatal("no dependence between conflicting arms")
+	}
+	for _, d := range deps {
+		if !d.Conc {
+			t.Errorf("dependence %s should be flagged concurrent", d)
+		}
+	}
+}
+
+func TestBusyWaitDependences(t *testing.T) {
+	cl := collect(t, workloads.BusyWait())
+	// The consumer's spin (c1) reads flag, producer's p2 writes it.
+	deps := cl.Dependences("p2", "c1")
+	if len(deps) == 0 {
+		t.Error("flag handoff dependence not found")
+	}
+	// data is written by p1 and read by c2.
+	deps = cl.Dependences("p1", "c2")
+	if len(deps) == 0 {
+		t.Error("data dependence not found")
+	}
+}
+
+func TestHeapAbstractionSeparatesSites(t *testing.T) {
+	prog := lang.MustParse(`
+var o1; var o2;
+func main() {
+  s1: var p = malloc(1);
+  s2: var q = malloc(1);
+  w1: *p = 1;
+  w2: *q = 2;
+  o1 = *p;
+  o2 = *q;
+}
+`)
+	cl := collect(t, prog)
+	if !cl.Independent("w1", "w2") {
+		t.Error("writes to objects from different sites must be independent")
+	}
+}
+
+func TestObjectsInfo(t *testing.T) {
+	cl := collect(t, workloads.MemPlacement())
+	objs := cl.Objects()
+	if len(objs) != 2 {
+		t.Fatalf("%d abstract objects, want 2", len(objs))
+	}
+	for _, o := range objs {
+		if o.Allocs == 0 {
+			t.Error("allocation count not recorded")
+		}
+		if o.CreatorProc != "0" {
+			t.Errorf("creator = %q, want root", o.CreatorProc)
+		}
+	}
+}
+
+func TestWriteConflictDOT(t *testing.T) {
+	cl := collect(t, workloads.Fig8Calls())
+	var b strings.Builder
+	if err := cl.WriteConflictDOT(&b, "s1", "s2", "s3", "s4"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"digraph conflicts", `"s1" -> "s4"`, `"s2" -> "s3"`, "flow on A", "anti on B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("conflict DOT missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `"s1" -> "s2"`) {
+		t.Error("independent pair drawn as conflicting")
+	}
+}
+
+func TestWriteConflictDOTConcurrentDashed(t *testing.T) {
+	prog := lang.MustParse(`
+var g;
+func main() {
+  cobegin { w1: g = 1; } || { w2: g = 2; } coend
+}
+`)
+	cl := collect(t, prog)
+	var b strings.Builder
+	if err := cl.WriteConflictDOT(&b, "w1", "w2"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "style=dashed") {
+		t.Errorf("concurrent conflict should be dashed:\n%s", b.String())
+	}
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+	"psa/internal/lang"
+	"sort"
+	"strings"
+)
+
+// Placement is the memory-hierarchy verdict for an abstract object
+// (paper §5.3 and §7): where may it be allocated?
+type Placement struct {
+	Obj *ObjectInfo
+	// Local is true when a single process accesses the object: it can be
+	// allocated in that processor's local memory.
+	Local bool
+	// Level is the process-tree path of the memory level the object needs:
+	// the accessing process itself when Local, otherwise the deepest
+	// common ancestor of all accessors (every processor running one of
+	// those threads can see that level).
+	Level string
+	// StackAllocatable is true when the object never escapes its
+	// allocating activation: it can live in the creator's frame and be
+	// reclaimed at procedure exit (the deallocation lists of [Har89]).
+	StackAllocatable bool
+}
+
+// String renders the verdict.
+func (p Placement) String() string {
+	where := "shared@" + p.Level
+	if p.Local {
+		where = "local@" + p.Level
+	}
+	stack := ""
+	if p.StackAllocatable {
+		stack = " stack-allocatable"
+	}
+	return fmt.Sprintf("site %d birth %q: %s%s", p.Obj.Loc.Site, p.Obj.Loc.Birth, where, stack)
+}
+
+// Placements computes the placement verdict for every abstract object
+// observed during exploration, in deterministic order.
+func (cl *Collector) Placements() []Placement {
+	objs := cl.Objects()
+	out := make([]Placement, 0, len(objs))
+	for _, o := range objs {
+		out = append(out, placeOne(o))
+	}
+	return out
+}
+
+func placeOne(o *ObjectInfo) Placement {
+	accessors := make([]string, 0, len(o.AccessorProcs))
+	for p := range o.AccessorProcs {
+		accessors = append(accessors, p)
+	}
+	sort.Strings(accessors)
+	p := Placement{Obj: o}
+	switch len(accessors) {
+	case 0:
+		// Allocated but never touched: local to its creator.
+		p.Local = true
+		p.Level = o.CreatorProc
+	case 1:
+		p.Local = true
+		p.Level = accessors[0]
+	default:
+		p.Local = false
+		p.Level = commonPrefixPath(accessors)
+	}
+	p.StackAllocatable = !o.EscapesActivation && !o.Freed
+	return p
+}
+
+// commonPrefixPath returns the deepest common ancestor of process paths
+// (paths are "0", "0/1", "0/1/0", ...).
+func commonPrefixPath(paths []string) string {
+	if len(paths) == 0 {
+		return ""
+	}
+	segs := strings.Split(paths[0], "/")
+	for _, p := range paths[1:] {
+		other := strings.Split(p, "/")
+		n := 0
+		for n < len(segs) && n < len(other) && segs[n] == other[n] {
+			n++
+		}
+		segs = segs[:n]
+	}
+	return strings.Join(segs, "/")
+}
+
+// PlacementFor returns the placement of the object allocated by the
+// malloc inside the statement labeled with the given label (nil if that
+// statement allocated nothing during exploration).
+func (cl *Collector) PlacementFor(label string) *Placement {
+	s := cl.Prog.StmtByLabel(label)
+	if s == nil {
+		return nil
+	}
+	// Find the malloc site inside this statement.
+	var placements []Placement
+	for _, o := range cl.Objects() {
+		node := cl.Prog.Node(o.Loc.Site)
+		if node == nil {
+			continue
+		}
+		if stmtContainsNode(s, node) {
+			placements = append(placements, placeOne(o))
+		}
+	}
+	if len(placements) == 0 {
+		return nil
+	}
+	// Merge multiple birth contexts of the same site conservatively:
+	// shared wins over local, escaping wins over stack-allocatable.
+	out := placements[0]
+	for _, p := range placements[1:] {
+		if !p.Local {
+			out.Local = false
+			out.Level = commonPrefixPath([]string{out.Level, p.Level})
+		}
+		if !p.StackAllocatable {
+			out.StackAllocatable = false
+		}
+	}
+	return &out
+}
+
+// stmtContainsNode reports whether node occurs among the expressions of
+// statement s.
+func stmtContainsNode(s lang.Stmt, node lang.Node) bool {
+	found := false
+	lang.WalkExprs(s, func(e lang.Expr) {
+		if e.NodeID() == node.NodeID() {
+			found = true
+		}
+	})
+	return found
+}

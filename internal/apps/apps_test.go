@@ -1,0 +1,421 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"psa/internal/abssem"
+	"psa/internal/analysis"
+	"psa/internal/explore"
+	"psa/internal/lang"
+	"psa/internal/workloads"
+)
+
+func collector(t *testing.T, prog *lang.Program) *analysis.Collector {
+	t.Helper()
+	cl := analysis.NewCollector(prog)
+	res := explore.Explore(prog, explore.Options{Reduction: explore.Full, Sink: cl})
+	if res.Truncated {
+		t.Fatal("truncated")
+	}
+	return cl
+}
+
+func TestParallelizeFig8(t *testing.T) {
+	cl := collector(t, workloads.Fig8Calls())
+	sched := Parallelize(cl, "s1", "s2", "s3", "s4")
+	if len(sched.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2: %s", len(sched.Groups), sched)
+	}
+	join := func(g []string) string { return strings.Join(g, ",") }
+	g0, g1 := join(sched.Groups[0]), join(sched.Groups[1])
+	if !(g0 == "s1,s4" && g1 == "s2,s3") {
+		t.Errorf("groups = %q / %q, want s1,s4 and s2,s3", g0, g1)
+	}
+	if len(sched.Deps) != 2 {
+		t.Errorf("%d dependences, want 2", len(sched.Deps))
+	}
+}
+
+func TestParallelizeAllIndependent(t *testing.T) {
+	prog := lang.MustParse(`
+var a; var b; var c;
+func main() {
+  s1: a = 1;
+  s2: b = 2;
+  s3: c = 3;
+}
+`)
+	cl := collector(t, prog)
+	sched := Parallelize(cl, "s1", "s2", "s3")
+	if len(sched.Groups) != 3 {
+		t.Errorf("independent statements should give 3 arms, got %s", sched)
+	}
+}
+
+func TestParallelizeChain(t *testing.T) {
+	prog := lang.MustParse(`
+var a;
+func main() {
+  s1: a = 1;
+  s2: a = a + 1;
+  s3: a = a + 1;
+}
+`)
+	cl := collector(t, prog)
+	sched := Parallelize(cl, "s1", "s2", "s3")
+	if len(sched.Groups) != 1 {
+		t.Errorf("fully dependent chain must stay sequential, got %s", sched)
+	}
+	if got := strings.Join(sched.Groups[0], ","); got != "s1,s2,s3" {
+		t.Errorf("program order lost: %s", got)
+	}
+}
+
+func TestPlanDelaysFig8(t *testing.T) {
+	cl := collector(t, workloads.Fig8Calls())
+	// Paper's segmentation: run {s1;s2} parallel to {s3;s4}.
+	plan := PlanDelays(cl, [][]string{{"s1", "s2"}, {"s3", "s4"}})
+	if !plan.Acyclic {
+		t.Fatalf("P∪E should be acyclic:\n%s", plan)
+	}
+	if len(plan.Delays) != 2 {
+		t.Fatalf("want 2 delay edges, got:\n%s", plan)
+	}
+	want := map[string]string{"s1": "s4", "s2": "s3"}
+	for _, d := range plan.Delays {
+		if want[d.From] != d.To {
+			t.Errorf("unexpected delay %s → %s", d.From, d.To)
+		}
+	}
+}
+
+func TestPlanDelaysCyclic(t *testing.T) {
+	// A segmentation that reorders dependent statements against source
+	// order: segment arcs s2→s3 and s4→s1 combine with the delay arcs
+	// s1→s2 (flow on A) and s3→s4 (flow on B) into a cycle, so the
+	// proposed parallelization is illegal.
+	prog := lang.MustParse(`
+var A; var B; var o1; var o2;
+func main() {
+  s1: A = 1;
+  s2: o1 = A;
+  s3: B = 1;
+  s4: o2 = B;
+}
+`)
+	cl := collector(t, prog)
+	plan := PlanDelays(cl, [][]string{{"s2", "s3"}, {"s4", "s1"}})
+	if plan.Acyclic {
+		t.Errorf("expected a P∪E cycle:\n%s", plan)
+	}
+}
+
+func TestPlacementReport(t *testing.T) {
+	cl := collector(t, workloads.MemPlacement())
+	rep := Placements(cl, "b1", "b2")
+	out := rep.String()
+	if !strings.Contains(out, "b1: shared level") {
+		t.Errorf("b1 should be shared:\n%s", out)
+	}
+	if !strings.Contains(out, "b2: local to processor of thread 0/1") {
+		t.Errorf("b2 should be local to arm 0/1:\n%s", out)
+	}
+}
+
+func TestPlacementUnknownLabel(t *testing.T) {
+	cl := collector(t, workloads.MemPlacement())
+	rep := Placements(cl, "nosuch")
+	if !strings.Contains(rep.String(), "no allocation observed") {
+		t.Error("missing-label entry not reported")
+	}
+}
+
+func TestOracleBusyWaitHoistRefused(t *testing.T) {
+	prog := workloads.BusyWait()
+	abs := abssem.Analyze(prog, abssem.Options{})
+	o := NewOracle(prog, abs)
+	v := o.HoistLoad("c1", "flag")
+	if v.Safe {
+		t.Errorf("hoisting the flag load must be refused: %s", v)
+	}
+	if !strings.Contains(v.Reason, "critical") {
+		t.Errorf("reason should mention the critical reference: %s", v)
+	}
+}
+
+func TestOracleSequentialHoistAllowed(t *testing.T) {
+	prog := lang.MustParse(`
+var lim = 10; var n;
+func main() {
+  var i = 0;
+  loop: while i < lim {
+    i = i + 1;
+  }
+  n = i;
+}
+`)
+	abs := abssem.Analyze(prog, abssem.Options{})
+	o := NewOracle(prog, abs)
+	v := o.HoistLoad("loop", "lim")
+	if !v.Safe {
+		t.Errorf("lim is loop-invariant and unshared; hoist should be safe: %s", v)
+	}
+}
+
+func TestOracleHoistRefusedWhenLoopWrites(t *testing.T) {
+	prog := lang.MustParse(`
+var lim = 10; var n;
+func main() {
+  var i = 0;
+  loop: while i < lim {
+    lim = lim - 1;
+    i = i + 1;
+  }
+  n = i;
+}
+`)
+	abs := abssem.Analyze(prog, abssem.Options{})
+	o := NewOracle(prog, abs)
+	if v := o.HoistLoad("loop", "lim"); v.Safe {
+		t.Errorf("loop writes lim; hoist must be refused: %s", v)
+	}
+}
+
+func TestOracleConstProp(t *testing.T) {
+	prog := lang.MustParse(`
+var k = 7; var out;
+func main() {
+  use: out = k + 1;
+}
+`)
+	abs := abssem.Analyze(prog, abssem.Options{})
+	o := NewOracle(prog, abs)
+	v := o.ConstProp("use", "k")
+	if !v.Safe {
+		t.Errorf("k is the constant 7; const-prop should be safe: %s", v)
+	}
+}
+
+func TestOracleConstPropRefusedShared(t *testing.T) {
+	prog := lang.MustParse(`
+var k = 7; var out;
+func main() {
+  cobegin {
+    use: out = k + 1;
+  } || {
+    k = 9;
+  } coend
+}
+`)
+	abs := abssem.Analyze(prog, abssem.Options{})
+	o := NewOracle(prog, abs)
+	if v := o.ConstProp("use", "k"); v.Safe {
+		t.Errorf("k is concurrently written; const-prop must be refused: %s", v)
+	}
+}
+
+func TestOracleConstPropRefusedNonConst(t *testing.T) {
+	prog := lang.MustParse(`
+var k; var sel; var out;
+func main() {
+  cobegin { sel = 0; } || { sel = 1; } coend
+  if sel == 0 { k = 1; } else { k = 2; }
+  use: out = k;
+}
+`)
+	abs := abssem.Analyze(prog, abssem.Options{})
+	o := NewOracle(prog, abs)
+	if v := o.ConstProp("use", "k"); v.Safe {
+		t.Errorf("k is 1 or 2 at use; const-prop must be refused: %s", v)
+	}
+}
+
+func TestOracleDeadStoreSharedRefused(t *testing.T) {
+	prog := lang.MustParse(`
+var g;
+func main() {
+  cobegin {
+    w: g = 1;
+  } || {
+    var t = g;
+    g = t;
+  } coend
+}
+`)
+	abs := abssem.Analyze(prog, abssem.Options{})
+	o := NewOracle(prog, abs)
+	if v := o.DeadStoreElim("w", "g"); v.Safe {
+		t.Errorf("store to shared g is observable: %s", v)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if got := (Verdict{true, "x"}).String(); got != "SAFE: x" {
+		t.Errorf("got %q", got)
+	}
+	if got := (Verdict{false, "y"}).String(); got != "UNSAFE: y" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	s := &Schedule{Groups: [][]string{{"a", "b"}, {"c"}}}
+	if got := s.String(); got != "cobegin { a; b } || { c } coend" {
+		t.Errorf("got %q", got)
+	}
+	s = &Schedule{Groups: [][]string{{"a"}}}
+	if !strings.HasPrefix(s.String(), "sequential") {
+		t.Errorf("got %q", s.String())
+	}
+}
+
+func TestDeallocationLists(t *testing.T) {
+	prog := lang.MustParse(`
+var sink;
+func scratch() {
+  a: var p = malloc(1);
+  *p = 1;
+  var t = *p;
+  return t;
+}
+func leaky() {
+  b: var q = malloc(1);
+  *q = 2;
+  return q;
+}
+func main() {
+  c: var r = malloc(1);
+  *r = 3;
+  sink = scratch();
+  var esc = leaky();
+  sink = *esc;
+  d: var f = malloc(1);
+  *f = 4;
+  free(f);
+}
+`)
+	cl := collector(t, prog)
+	lists := DeallocationLists(cl)
+	byName := map[string][]int{}
+	for _, dl := range lists {
+		name := "main-top"
+		if dl.Fn != nil {
+			name = dl.Fn.Name
+		}
+		for _, s := range dl.Sites {
+			byName[name] = append(byName[name], int(s.Site))
+		}
+	}
+	// scratch's buffer reclaimable at scratch's exit.
+	if len(byName["scratch"]) != 1 {
+		t.Errorf("scratch should reclaim exactly its own buffer, got %v", byName)
+	}
+	// leaky's buffer escapes: not in any list.
+	if len(byName["leaky"]) != 0 {
+		t.Errorf("leaky's buffer escapes; lists = %v", byName)
+	}
+	// main's r reclaimable at main exit; the freed one (d) must NOT be
+	// listed (already freed manually).
+	if len(byName["main-top"]) != 2 {
+		// r and esc's object? esc's object was created by leaky and
+		// escapes leaky — it is NOT reclaimable at leaky, and main did
+		// not create it. It should appear nowhere. So main-top = {r}.
+		if len(byName["main-top"]) != 1 {
+			t.Errorf("main should reclaim r only, got %v", byName)
+		}
+	}
+}
+
+func TestDeallocationListString(t *testing.T) {
+	prog := lang.MustParse(`
+func f() {
+  var p = malloc(1);
+  *p = 1;
+  return *p;
+}
+func main() {
+  var x = f();
+  x = x + 1;
+}
+`)
+	cl := collector(t, prog)
+	lists := DeallocationLists(cl)
+	if len(lists) != 1 {
+		t.Fatalf("want one list, got %d", len(lists))
+	}
+	out := lists[0].String()
+	if !strings.Contains(out, "at exit of f reclaim: site@") {
+		t.Errorf("rendering: %q", out)
+	}
+}
+
+func TestMayHappenInParallel(t *testing.T) {
+	prog := lang.MustParse(`
+var g;
+func main() {
+  pre: g = 1;
+  cobegin { a1: g = 2; } || { a2: g = 3; } coend
+  post: g = 4;
+}
+`)
+	cl := collector(t, prog)
+	if !cl.MayHappenInParallel("a1", "a2") {
+		t.Error("sibling arms must be MHP")
+	}
+	for _, pair := range [][2]string{{"pre", "a1"}, {"a1", "post"}, {"pre", "post"}, {"a1", "a1"}} {
+		if cl.MayHappenInParallel(pair[0], pair[1]) {
+			t.Errorf("%v must not be MHP", pair)
+		}
+	}
+}
+
+func TestPureCallVerdicts(t *testing.T) {
+	prog := workloads.SideEffects()
+	cl := collector(t, prog)
+	if v := PureCall(cl, "pureLocal"); !v.Safe {
+		t.Errorf("pureLocal: %s", v)
+	}
+	if v := PureCall(cl, "writeG"); v.Safe {
+		t.Errorf("writeG: %s", v)
+	}
+	if v := PureCall(cl, "readG"); v.Safe {
+		t.Errorf("readG (read side effects count): %s", v)
+	}
+	if v := PureCall(cl, "touchArg"); v.Safe {
+		t.Errorf("touchArg: %s", v)
+	}
+	if v := PureCall(cl, "nosuch"); v.Safe {
+		t.Errorf("unknown function: %s", v)
+	}
+}
+
+func TestPureCallUncalledHeapFunction(t *testing.T) {
+	// A heap-touching function that never runs: purity unproven.
+	prog := lang.MustParse(`
+var out;
+func lazy() {
+  var p = malloc(1);
+  *p = 1;
+  return *p;
+}
+func main() { out = 1; }
+`)
+	cl := collector(t, prog)
+	if v := PureCall(cl, "lazy"); v.Safe {
+		t.Errorf("uncalled heap function must not be declared pure: %s", v)
+	}
+}
+
+func TestPureCallUncalledTrivialFunction(t *testing.T) {
+	// No storage traffic at all: provably pure even without observation.
+	prog := lang.MustParse(`
+var out;
+func id(x) { return x; }
+func main() { out = 1; }
+`)
+	cl := collector(t, prog)
+	if v := PureCall(cl, "id"); !v.Safe {
+		t.Errorf("id touches nothing; %s", v)
+	}
+}

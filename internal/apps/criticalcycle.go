@@ -1,0 +1,155 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"psa/internal/analysis"
+	"psa/internal/lang"
+)
+
+// ProgramArc is one intra-arm ordering of a parallel program: To follows
+// From in the same arm's program text.
+type ProgramArc struct {
+	From, To string
+	Arm      int
+}
+
+// EnforcementPlan is the result of Shasha–Snir minimal delay analysis
+// [SS88] on an ALREADY-parallel program: which program arcs must be
+// enforced with delays so that any hardware/compiler reordering of the
+// rest still yields only sequentially consistent results. An arc needs a
+// delay exactly when it lies on a critical cycle of P ∪ C (program arcs
+// plus undirected cross-arm conflict edges).
+type EnforcementPlan struct {
+	Arms     [][]string
+	Enforced []ProgramArc // arcs on critical cycles: keep these ordered
+	Relaxed  []ProgramArc // arcs on no critical cycle: free to reorder
+	// Conflicts are the cross-arm conflict edges found by the analysis.
+	Conflicts [][2]string
+}
+
+// String renders the plan.
+func (p *EnforcementPlan) String() string {
+	var b strings.Builder
+	for i, arm := range p.Arms {
+		fmt.Fprintf(&b, "arm %d: %s\n", i+1, strings.Join(arm, "; "))
+	}
+	for _, c := range p.Conflicts {
+		fmt.Fprintf(&b, "conflict: %s -- %s\n", c[0], c[1])
+	}
+	for _, a := range p.Enforced {
+		fmt.Fprintf(&b, "ENFORCE %s → %s (on a critical cycle)\n", a.From, a.To)
+	}
+	for _, a := range p.Relaxed {
+		fmt.Fprintf(&b, "relax   %s → %s (no critical cycle)\n", a.From, a.To)
+	}
+	if len(p.Enforced) == 0 {
+		b.WriteString("no delays needed: every statement may be reordered or run in parallel\n")
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// MinimalDelays runs the Shasha–Snir critical-cycle analysis over a
+// parallel program given as arms of labeled statements. Program arcs run
+// between consecutive statements of one arm; conflict edges join
+// cross-arm statements whose exploration footprints overlap with a
+// write. A program arc must be enforced iff some cycle uses it together
+// with conflict edges (traversed in either direction) — dropping it
+// would let the reordered execution realize a non-SC outcome.
+//
+// On the paper's Figure 2: ordering (a) has the classic critical cycle
+// s1→s2 ∼ s3→s4 ∼ back, so both arcs need delays; in ordering (b) the
+// cycle cannot close, no delays are needed, and "the compiler can safely
+// parallelize all these four statements".
+func MinimalDelays(cl *analysis.Collector, arms [][]string) *EnforcementPlan {
+	plan := &EnforcementPlan{Arms: arms}
+
+	armOf := map[string]int{}
+	var all []string
+	var arcs []ProgramArc
+	for ai, arm := range arms {
+		for i, l := range arm {
+			armOf[l] = ai
+			all = append(all, l)
+			if i > 0 {
+				arcs = append(arcs, ProgramArc{From: arm[i-1], To: l, Arm: ai})
+			}
+		}
+	}
+
+	// Cross-arm conflict edges from footprints.
+	conflict := map[string][]string{}
+	seen := map[[2]string]bool{}
+	for _, d := range cl.Dependences(all...) {
+		a, b := lang.DescribeStmt(d.A), lang.DescribeStmt(d.B)
+		if armOf[a] == armOf[b] {
+			continue
+		}
+		k := [2]string{a, b}
+		if a > b {
+			k = [2]string{b, a}
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		plan.Conflicts = append(plan.Conflicts, k)
+		conflict[a] = append(conflict[a], b)
+		conflict[b] = append(conflict[b], a)
+	}
+	sort.Slice(plan.Conflicts, func(i, j int) bool {
+		if plan.Conflicts[i][0] != plan.Conflicts[j][0] {
+			return plan.Conflicts[i][0] < plan.Conflicts[j][0]
+		}
+		return plan.Conflicts[i][1] < plan.Conflicts[j][1]
+	})
+
+	// Successor relation: program arcs forward, conflict edges both ways.
+	succs := func(n string) []string {
+		var out []string
+		for _, a := range arcs {
+			if a.From == n {
+				out = append(out, a.To)
+			}
+		}
+		out = append(out, conflict[n]...)
+		return out
+	}
+
+	// An arc (u,v) is on a critical cycle iff v can reach u through the
+	// mixed graph WITHOUT immediately bouncing back over the same arc —
+	// since conflict edges are undirected and program arcs one-way, plain
+	// reachability from v to u suffices (the cycle closes via the arc).
+	reaches := func(from, to, skipFrom, skipTo string) bool {
+		visited := map[string]bool{from: true}
+		queue := []string{from}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			if n == to {
+				return true
+			}
+			for _, m := range succs(n) {
+				if n == skipFrom && m == skipTo {
+					continue // do not reuse the arc under test
+				}
+				if !visited[m] {
+					visited[m] = true
+					queue = append(queue, m)
+				}
+			}
+		}
+		return false
+	}
+
+	for _, a := range arcs {
+		if reaches(a.To, a.From, a.From, a.To) {
+			plan.Enforced = append(plan.Enforced, a)
+		} else {
+			plan.Relaxed = append(plan.Relaxed, a)
+		}
+	}
+	return plan
+}

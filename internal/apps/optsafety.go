@@ -1,0 +1,206 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"psa/internal/abssem"
+	"psa/internal/analysis"
+	"psa/internal/lang"
+	"psa/internal/sem"
+)
+
+// Oracle answers the introduction's motivating question: which classical
+// sequential optimizations remain safe in a parallel program? It combines
+// the static sharing summary (is the variable critical?) with the
+// abstract interpretation's program-point invariants.
+type Oracle struct {
+	prog    *lang.Program
+	sharing *lang.Sharing
+	abs     *abssem.Result
+}
+
+// NewOracle builds an oracle from an abstract-interpretation result.
+func NewOracle(prog *lang.Program, abs *abssem.Result) *Oracle {
+	return &Oracle{prog: prog, sharing: lang.AnalyzeSharing(prog), abs: abs}
+}
+
+// Verdict is an optimization-safety answer with its justification.
+type Verdict struct {
+	Safe   bool
+	Reason string
+}
+
+func (v Verdict) String() string {
+	if v.Safe {
+		return "SAFE: " + v.Reason
+	}
+	return "UNSAFE: " + v.Reason
+}
+
+// ConstProp asks whether the load of the named global at the labeled
+// statement may be replaced by a constant. Two obligations:
+//
+//  1. the abstract invariant at that point pins the global to a single
+//     constant;
+//  2. no other thread may write the global while the statement can
+//     execute (otherwise the load is a critical reference whose value the
+//     interleaving decides — replacing it changes the outcome set, the
+//     busy-waiting disaster of the paper's introduction).
+func (o *Oracle) ConstProp(label, global string) Verdict {
+	g := o.prog.Global(global)
+	if g == nil {
+		return Verdict{false, fmt.Sprintf("no global named %q", global)}
+	}
+	if o.sharing.GlobalShared[g.Index] {
+		return Verdict{false, fmt.Sprintf("%s may be written by a concurrent thread; its value at %s is interleaving-dependent", global, label)}
+	}
+	v, ok := o.abs.GlobalAt(label, global)
+	if !ok {
+		return Verdict{false, fmt.Sprintf("statement %s unreachable or unknown", label)}
+	}
+	if c, isConst := v.AsSingleConst(); isConst {
+		return Verdict{true, fmt.Sprintf("%s = %d at %s in every execution", global, c, label)}
+	}
+	return Verdict{false, fmt.Sprintf("%s is not a single constant at %s (abstract value %s)", global, label, v)}
+}
+
+// HoistLoad asks whether a load of the named global may be hoisted out of
+// the labeled while loop (performed once before the loop). This is the
+// busy-wait example: hoisting the load of a flag another thread sets
+// turns a terminating loop into an infinite one.
+func (o *Oracle) HoistLoad(loopLabel, global string) Verdict {
+	g := o.prog.Global(global)
+	if g == nil {
+		return Verdict{false, fmt.Sprintf("no global named %q", global)}
+	}
+	s := o.prog.StmtByLabel(loopLabel)
+	if s == nil {
+		return Verdict{false, fmt.Sprintf("no statement labeled %q", loopLabel)}
+	}
+	if _, isLoop := s.(*lang.WhileStmt); !isLoop {
+		return Verdict{false, fmt.Sprintf("%s is not a while loop", loopLabel)}
+	}
+	if o.sharing.GlobalShared[g.Index] {
+		return Verdict{false, fmt.Sprintf("%s is a critical reference: a concurrent thread may write it between iterations of %s", global, loopLabel)}
+	}
+	// Not shared: the loop body itself may still write it, but then the
+	// load is loop-variant sequentially; check the loop's own summary.
+	if writesGlobal(s, g.Index, o.prog) {
+		return Verdict{false, fmt.Sprintf("loop %s itself may write %s", loopLabel, global)}
+	}
+	return Verdict{true, fmt.Sprintf("%s is loop-invariant at %s and no other thread can write it", global, loopLabel)}
+}
+
+// PureCall asks whether calls to the named function can be treated as
+// pure by the optimizer (common-subexpression-eliminated, reordered,
+// hoisted): the §5.1 side-effect summary must be empty — the function
+// touches only objects created during its own evaluation.
+//
+// Two sources combine: the static access summary (any global touch is a
+// side effect, whether or not exploration exercised the function) and the
+// observed per-activation effects, which are what prove that the
+// function's heap traffic stays within its own allocations.
+func PureCall(cl *analysis.Collector, fn string) Verdict {
+	f := cl.Prog.Func(fn)
+	if f == nil {
+		return Verdict{false, fmt.Sprintf("no function named %q", fn)}
+	}
+	sum := sem.NewSummaries(cl.Prog).FnSummary(f)
+	for gi := range cl.Prog.Globals {
+		if sum.GR[gi] || sum.GW[gi] {
+			return Verdict{false, fmt.Sprintf("%s accesses global %s", fn, cl.Prog.Globals[gi].Name)}
+		}
+	}
+	se := cl.SideEffects(f)
+	if len(se) > 0 {
+		parts := make([]string, 0, len(se))
+		for _, e := range se {
+			parts = append(parts, e.Kind.String()+":"+e.Loc.Format(cl.Prog))
+		}
+		return Verdict{false, fmt.Sprintf("%s has side effects {%s}", fn, strings.Join(parts, " "))}
+	}
+	if (sum.HR || sum.HW) && !cl.FnObserved(f) {
+		return Verdict{false, fmt.Sprintf("%s touches the heap and was never exercised; self-containment unproven", fn)}
+	}
+	return Verdict{true, fmt.Sprintf("%s has no side effects: every object it touches is born in its own activation", fn)}
+}
+
+// DeadStoreElim asks whether the labeled assignment to a global can be
+// removed because the value is never read afterwards. For shared globals
+// the answer is no whenever another thread may read it.
+func (o *Oracle) DeadStoreElim(label, global string) Verdict {
+	g := o.prog.Global(global)
+	if g == nil {
+		return Verdict{false, fmt.Sprintf("no global named %q", global)}
+	}
+	if o.sharing.GlobalShared[g.Index] {
+		return Verdict{false, fmt.Sprintf("%s may be read by a concurrent thread; the store at %s is observable", global, label)}
+	}
+	return Verdict{false, "sequential liveness not implemented; conservatively kept"}
+}
+
+// writesGlobal reports whether the statement (recursively, including
+// calls) may write global gi.
+func writesGlobal(s lang.Stmt, gi int, prog *lang.Program) bool {
+	found := false
+	var checkStmt func(lang.Stmt)
+	visited := map[*lang.FuncDecl]bool{}
+	var checkBlock func(*lang.Block)
+	checkStmt = func(st lang.Stmt) {
+		switch st := st.(type) {
+		case *lang.AssignStmt:
+			if v, ok := st.Target.(*lang.VarRef); ok && v.Kind == lang.RefGlobal && v.Index == gi {
+				found = true
+			}
+			if d, ok := st.Target.(*lang.DerefExpr); ok {
+				if a, ok2 := d.Ptr.(*lang.AddrExpr); ok2 {
+					if a.Index == gi {
+						found = true
+					}
+				} else if addrTaken(prog, gi) {
+					// Unknown pointer: may hit any address-taken global.
+					found = true
+				}
+			}
+		}
+		lang.WalkExprs(st, func(e lang.Expr) {
+			if c, ok := e.(*lang.CallExpr); ok {
+				if v, ok2 := c.Callee.(*lang.VarRef); ok2 && v.Kind == lang.RefFunc {
+					f := prog.Funcs[v.Index]
+					if !visited[f] {
+						visited[f] = true
+						checkBlock(f.Body)
+					}
+				}
+			}
+		})
+	}
+	checkBlock = func(b *lang.Block) {
+		lang.WalkStmts(b, checkStmt)
+	}
+	switch st := s.(type) {
+	case *lang.WhileStmt:
+		checkBlock(st.Body)
+	case *lang.IfStmt:
+		checkBlock(st.Then)
+		checkBlock(st.Else)
+	default:
+		checkStmt(st)
+	}
+	return found
+}
+
+func addrTaken(prog *lang.Program, gi int) bool {
+	taken := false
+	for _, f := range prog.Funcs {
+		lang.WalkStmts(f.Body, func(s lang.Stmt) {
+			lang.WalkExprs(s, func(e lang.Expr) {
+				if a, ok := e.(*lang.AddrExpr); ok && a.Index == gi {
+					taken = true
+				}
+			})
+		})
+	}
+	return taken
+}

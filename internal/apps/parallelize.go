@@ -1,0 +1,265 @@
+// Package apps implements the paper's §7 applications on top of the
+// analyses: further parallelization of procedure calls (extending the
+// Shasha–Snir delay framework [SS88, MP90] to calls, Example 15), memory
+// hierarchy placement (§5.3), and the optimization-safety oracle the
+// introduction motivates (a compiler must not hoist or constant-propagate
+// loads of variables another thread may write).
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"psa/internal/abssem"
+	"psa/internal/analysis"
+	"psa/internal/lang"
+)
+
+// Schedule is a parallelization verdict for a statement sequence: groups
+// of statements that must stay internally ordered (they conflict), where
+// distinct groups can run as cobegin arms.
+type Schedule struct {
+	// Groups lists statement labels; each inner slice is one sequential
+	// chain, in program order. len(Groups) == 1 means no parallelism.
+	Groups [][]string
+	// Deps are the dependences that forced the grouping.
+	Deps []analysis.Dep
+}
+
+// String renders the schedule as a cobegin sketch.
+func (s *Schedule) String() string {
+	arms := make([]string, len(s.Groups))
+	for i, g := range s.Groups {
+		arms[i] = "{ " + strings.Join(g, "; ") + " }"
+	}
+	if len(arms) == 1 {
+		return "sequential: " + arms[0]
+	}
+	return "cobegin " + strings.Join(arms, " || ") + " coend"
+}
+
+// Parallelize partitions the labeled statements into the finest
+// parallel schedule their exploration footprints allow: statements in the
+// same connected component of the conflict graph stay sequential (in
+// program order); components are mutually independent and become arms.
+//
+// On the paper's Figure 8 this produces exactly two arms, {s1;s4} kept
+// apart from {s2;s3} — wait: the dependences are (s1,s4) and (s2,s3), so
+// the components are {s1,s4} and {s2,s3}; each arm preserves its internal
+// order and the four calls finish in two parallel chains instead of four
+// sequential steps.
+func Parallelize(cl *analysis.Collector, labels ...string) *Schedule {
+	deps := cl.Dependences(labels...)
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	for _, l := range labels {
+		parent[l] = l
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, d := range deps {
+		union(lang.DescribeStmt(d.A), lang.DescribeStmt(d.B))
+	}
+	groups := map[string][]string{}
+	for _, l := range labels { // keep program order within groups
+		r := find(l)
+		groups[r] = append(groups[r], l)
+	}
+	roots := make([]string, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	// Deterministic arm order: by first label's position in input.
+	firstIdx := func(r string) int {
+		for i, l := range labels {
+			if find(l) == r {
+				return i
+			}
+		}
+		return len(labels)
+	}
+	sort.Slice(roots, func(i, j int) bool { return firstIdx(roots[i]) < firstIdx(roots[j]) })
+	out := &Schedule{Deps: deps}
+	for _, r := range roots {
+		out.Groups = append(out.Groups, groups[r])
+	}
+	return out
+}
+
+// ParallelizeAbstract is Parallelize driven purely by the abstract
+// interpretation's footprints (abssem.Options.CollectFootprints): no
+// concrete state-space exploration is needed, which is how the paper's
+// own pipeline scales past exhaustively explorable programs. The
+// schedule is (possibly) coarser than the concrete one — abstract
+// conflicts over-approximate — but never unsound.
+func ParallelizeAbstract(res *abssem.Result, labels ...string) *Schedule {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	for _, l := range labels {
+		parent[l] = l
+	}
+	for i := 0; i < len(labels); i++ {
+		for j := i + 1; j < len(labels); j++ {
+			if res.Conflicts(labels[i], labels[j]) {
+				ra, rb := find(labels[i]), find(labels[j])
+				if ra != rb {
+					parent[ra] = rb
+				}
+			}
+		}
+	}
+	groups := map[string][]string{}
+	for _, l := range labels {
+		r := find(l)
+		groups[r] = append(groups[r], l)
+	}
+	firstIdx := func(r string) int {
+		for i, l := range labels {
+			if find(l) == r {
+				return i
+			}
+		}
+		return len(labels)
+	}
+	roots := make([]string, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return firstIdx(roots[i]) < firstIdx(roots[j]) })
+	out := &Schedule{}
+	for _, r := range roots {
+		out.Groups = append(out.Groups, groups[r])
+	}
+	return out
+}
+
+// DelayEdge is a required ordering between statements in different
+// segments: To may not start before From completes.
+type DelayEdge struct {
+	From, To string
+	Reason   analysis.Dep
+}
+
+// DelayPlan is the result of Shasha–Snir style delay analysis for a given
+// segmentation: the minimal inter-segment orderings (execution arcs E)
+// that, unioned with the program arcs P inside each segment, keep P ∪ E
+// acyclic — the correctness condition of [SS88].
+type DelayPlan struct {
+	Segments [][]string
+	Delays   []DelayEdge
+	// Acyclic reports whether P ∪ E is acyclic, i.e. the segmentation is
+	// legal with these delays.
+	Acyclic bool
+}
+
+// String renders the plan.
+func (p *DelayPlan) String() string {
+	var b strings.Builder
+	for i, seg := range p.Segments {
+		fmt.Fprintf(&b, "segment %d: %s\n", i+1, strings.Join(seg, "; "))
+	}
+	for _, d := range p.Delays {
+		fmt.Fprintf(&b, "delay: %s before %s (%s)\n", d.From, d.To, d.Reason.Kind)
+	}
+	fmt.Fprintf(&b, "P ∪ E acyclic: %v", p.Acyclic)
+	return b.String()
+}
+
+// PlanDelays computes, for a proposed segmentation of the labeled
+// statements into parallel segments, the delay edges required by the
+// observed dependences, and checks the Shasha–Snir acyclicity condition.
+func PlanDelays(cl *analysis.Collector, segments [][]string) *DelayPlan {
+	var all []string
+	segOf := map[string]int{}
+	posOf := map[string]int{}
+	for si, seg := range segments {
+		for pi, l := range seg {
+			segOf[l] = si
+			posOf[l] = pi
+			all = append(all, l)
+		}
+	}
+	deps := cl.Dependences(all...)
+	plan := &DelayPlan{Segments: segments}
+
+	// Edges: program order inside segments + delay edges across.
+	type edge struct{ from, to string }
+	var edges []edge
+	for _, seg := range segments {
+		for i := 1; i < len(seg); i++ {
+			edges = append(edges, edge{seg[i-1], seg[i]})
+		}
+	}
+	seen := map[edge]bool{}
+	for _, d := range deps {
+		fa, fb := lang.DescribeStmt(d.A), lang.DescribeStmt(d.B)
+		e := edge{fa, fb}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		// The dependence constrains fa before fb regardless of where the
+		// segmentation put them; an intra-segment placement that reverses
+		// it shows up as a cycle against the segment's program arcs.
+		edges = append(edges, e)
+		if segOf[fa] != segOf[fb] {
+			plan.Delays = append(plan.Delays, DelayEdge{From: fa, To: fb, Reason: d})
+		}
+	}
+	sort.Slice(plan.Delays, func(i, j int) bool {
+		if plan.Delays[i].From != plan.Delays[j].From {
+			return plan.Delays[i].From < plan.Delays[j].From
+		}
+		return plan.Delays[i].To < plan.Delays[j].To
+	})
+
+	// Cycle check over P ∪ E.
+	adj := map[string][]string{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	state := map[string]int{} // 0 unvisited, 1 in stack, 2 done
+	var dfs func(string) bool
+	dfs = func(n string) bool {
+		state[n] = 1
+		for _, m := range adj[n] {
+			switch state[m] {
+			case 1:
+				return false
+			case 0:
+				if !dfs(m) {
+					return false
+				}
+			}
+		}
+		state[n] = 2
+		return true
+	}
+	plan.Acyclic = true
+	for _, l := range all {
+		if state[l] == 0 && !dfs(l) {
+			plan.Acyclic = false
+			break
+		}
+	}
+	return plan
+}

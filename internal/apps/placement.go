@@ -1,0 +1,117 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"psa/internal/analysis"
+	"psa/internal/lang"
+)
+
+// PlacementReport renders memory-hierarchy placement advice (§5.3, §7)
+// for every allocation site labeled in the program: whether each object
+// may live in processor-local memory or must be visible at a shared
+// level, and whether it can be stack-allocated and reclaimed at procedure
+// exit (the deallocation lists of [Har89]).
+type PlacementReport struct {
+	Prog    *lang.Program
+	Entries []PlacementEntry
+}
+
+// PlacementEntry is the verdict for one labeled allocation.
+type PlacementEntry struct {
+	Label     string
+	Placement analysis.Placement
+	Found     bool
+}
+
+// Placements builds the report for the given allocation labels.
+func Placements(cl *analysis.Collector, labels ...string) *PlacementReport {
+	rep := &PlacementReport{Prog: cl.Prog}
+	for _, l := range labels {
+		p := cl.PlacementFor(l)
+		e := PlacementEntry{Label: l}
+		if p != nil {
+			e.Placement = *p
+			e.Found = true
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	return rep
+}
+
+// DeallocationList associates one function with the abstract objects that
+// can be reclaimed when its activation exits — the device of [Har89] the
+// paper's §5.3 points to: "if we know the extent of objects, we can
+// associate each function exit with a deallocation list of objects".
+type DeallocationList struct {
+	Fn    *lang.FuncDecl // nil for main's top level
+	Sites []analysis.AbsLoc
+}
+
+// DeallocationLists computes, per function, the allocation sites whose
+// objects never outlive that function's activations (never escape and
+// are not manually freed), grouped deterministically.
+func DeallocationLists(cl *analysis.Collector) []DeallocationList {
+	byFn := map[int][]analysis.AbsLoc{}
+	for _, o := range cl.Objects() {
+		if o.EscapesActivation || o.Freed {
+			continue
+		}
+		byFn[o.CreatorFn] = append(byFn[o.CreatorFn], o.Loc)
+	}
+	idxs := make([]int, 0, len(byFn))
+	for i := range byFn {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var out []DeallocationList
+	for _, i := range idxs {
+		dl := DeallocationList{Sites: byFn[i]}
+		if i >= 0 {
+			dl.Fn = cl.Prog.Funcs[i]
+		}
+		sort.Slice(dl.Sites, func(a, b int) bool { return dl.Sites[a].Site < dl.Sites[b].Site })
+		out = append(out, dl)
+	}
+	return out
+}
+
+// String renders the list.
+func (d DeallocationList) String() string {
+	name := "main (top level)"
+	if d.Fn != nil {
+		name = d.Fn.Name
+	}
+	parts := make([]string, len(d.Sites))
+	for i, s := range d.Sites {
+		parts[i] = fmt.Sprintf("site@%d", s.Site)
+	}
+	return fmt.Sprintf("at exit of %s reclaim: %s", name, strings.Join(parts, ", "))
+}
+
+// String renders the report like the paper's §7 discussion: "b1 should be
+// allocated at a level of memory visible to both processors while b2 can
+// be allocated locally".
+func (r *PlacementReport) String() string {
+	var b strings.Builder
+	for _, e := range r.Entries {
+		if !e.Found {
+			fmt.Fprintf(&b, "%s: no allocation observed\n", e.Label)
+			continue
+		}
+		p := e.Placement
+		switch {
+		case p.Local && p.StackAllocatable:
+			fmt.Fprintf(&b, "%s: local to processor of thread %s; stack-allocatable in its creator\n", e.Label, p.Level)
+		case p.Local:
+			fmt.Fprintf(&b, "%s: local to processor of thread %s\n", e.Label, p.Level)
+		case p.StackAllocatable:
+			fmt.Fprintf(&b, "%s: shared level %q (visible to all accessing processors); reclaimable at creator exit\n", e.Label, p.Level)
+		default:
+			fmt.Fprintf(&b, "%s: shared level %q (visible to all accessing processors)\n", e.Label, p.Level)
+		}
+	}
+	return b.String()
+}

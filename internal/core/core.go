@@ -1,0 +1,215 @@
+// Package core is the public face of the framework: parse a cobegin
+// program once, then run any combination of the paper's machinery on it —
+// concrete state-space exploration with stubborn-set reduction and
+// virtual coarsening (§2), abstract interpretation over a choice of
+// domains with configuration and clan folding (§4, §6), and the derived
+// analyses and applications: side effects, data dependences, object
+// lifetimes (§5), call parallelization, memory placement, and
+// optimization safety (§7).
+//
+// Typical use:
+//
+//	a, err := core.Parse(src)
+//	res := a.Explore(core.ExploreOptions{Reduction: core.Stubborn})
+//	cl := a.Collect()                    // exploration + instrumentation
+//	deps := cl.Dependences("s1", "s2")   // §5.2
+//	sched := a.Parallelize("s1", "s2")   // §7
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"psa/internal/abssem"
+	"psa/internal/analysis"
+	"psa/internal/apps"
+	"psa/internal/explore"
+	"psa/internal/lang"
+)
+
+// Re-exported option/result types, so clients import only core.
+type (
+	// ExploreOptions configures concrete state-space exploration.
+	ExploreOptions = explore.Options
+	// ExploreResult is a concrete exploration summary.
+	ExploreResult = explore.Result
+	// AbstractOptions configures the abstract interpreter.
+	AbstractOptions = abssem.Options
+	// AbstractResult is an abstract interpretation summary.
+	AbstractResult = abssem.Result
+	// Collector accumulates the instrumentation behind the §5 analyses.
+	Collector = analysis.Collector
+	// Schedule is a parallelization verdict.
+	Schedule = apps.Schedule
+	// DelayPlan is a Shasha–Snir delay analysis result.
+	DelayPlan = apps.DelayPlan
+	// PlacementReport is the §5.3 memory-placement report.
+	PlacementReport = apps.PlacementReport
+	// Oracle answers optimization-safety queries.
+	Oracle = apps.Oracle
+	// Verdict is an oracle answer.
+	Verdict = apps.Verdict
+	// Program is a parsed, resolved program.
+	Program = lang.Program
+)
+
+// Reduction strategies for Explore.
+const (
+	Full     = explore.Full
+	Stubborn = explore.Stubborn
+)
+
+// Analyzer owns one parsed program and caches derived artifacts.
+type Analyzer struct {
+	Prog *lang.Program
+
+	collector *analysis.Collector
+	abstract  *abssem.Result
+}
+
+// Parse builds an Analyzer from source text.
+func Parse(src string) (*Analyzer, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzer{Prog: prog}, nil
+}
+
+// ParseFile builds an Analyzer from a file.
+func ParseFile(path string) (*Analyzer, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a, err := Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+// FromProgram wraps an already-built program (e.g. from package
+// workloads).
+func FromProgram(p *lang.Program) *Analyzer { return &Analyzer{Prog: p} }
+
+// Format renders the program back to source.
+func (a *Analyzer) Format() string { return lang.Format(a.Prog) }
+
+// Explore generates the reachable configuration space under opts.
+func (a *Analyzer) Explore(opts ExploreOptions) *ExploreResult {
+	return explore.Explore(a.Prog, opts)
+}
+
+// Collect runs a full instrumented exploration once and caches the
+// resulting collector; subsequent analysis queries share it.
+func (a *Analyzer) Collect() *Collector {
+	if a.collector == nil {
+		cl := analysis.NewCollector(a.Prog)
+		explore.Explore(a.Prog, explore.Options{Reduction: explore.Full, Sink: cl})
+		a.collector = cl
+	}
+	return a.collector
+}
+
+// Abstract runs the abstract interpreter once with defaults and caches
+// the result; use AbstractWith for custom options.
+func (a *Analyzer) Abstract() *AbstractResult {
+	if a.abstract == nil {
+		a.abstract = abssem.Analyze(a.Prog, abssem.Options{})
+	}
+	return a.abstract
+}
+
+// AbstractWith runs the abstract interpreter with explicit options
+// (domain, k-limit, clan folding); the result is not cached.
+func (a *Analyzer) AbstractWith(opts AbstractOptions) *AbstractResult {
+	return abssem.Analyze(a.Prog, opts)
+}
+
+// Dependences computes the §5.2 data dependences among labeled
+// statements.
+func (a *Analyzer) Dependences(labels ...string) []analysis.Dep {
+	return a.Collect().Dependences(labels...)
+}
+
+// SideEffects returns the §5.1 side-effect summary of the named function.
+func (a *Analyzer) SideEffects(fn string) ([]analysis.FootprintEntry, error) {
+	f := a.Prog.Func(fn)
+	if f == nil {
+		return nil, fmt.Errorf("core: no function named %q", fn)
+	}
+	return a.Collect().SideEffects(f), nil
+}
+
+// Parallelize computes the finest legal parallel schedule of the labeled
+// statements (§7, Example 15).
+func (a *Analyzer) Parallelize(labels ...string) *Schedule {
+	return apps.Parallelize(a.Collect(), labels...)
+}
+
+// MinimalDelays runs the Shasha–Snir critical-cycle analysis [SS88] on a
+// parallel program given as arms of labeled statements, reporting which
+// program arcs must be enforced with delays.
+func (a *Analyzer) MinimalDelays(arms [][]string) *apps.EnforcementPlan {
+	return apps.MinimalDelays(a.Collect(), arms)
+}
+
+// PlanDelays runs the Shasha–Snir delay analysis for a proposed
+// segmentation.
+func (a *Analyzer) PlanDelays(segments [][]string) *DelayPlan {
+	return apps.PlanDelays(a.Collect(), segments)
+}
+
+// Placements reports memory-hierarchy placement for labeled allocations
+// (§5.3, §7).
+func (a *Analyzer) Placements(labels ...string) *PlacementReport {
+	return apps.Placements(a.Collect(), labels...)
+}
+
+// NewOracle builds the optimization-safety oracle over the cached
+// abstract interpretation.
+func (a *Analyzer) NewOracle() *Oracle {
+	return apps.NewOracle(a.Prog, a.Abstract())
+}
+
+// Anomalies returns the observed access anomalies (co-enabled conflicting
+// accesses), the debugging-oriented output surveyed in [MH89].
+func (a *Analyzer) Anomalies() []*analysis.Anomaly {
+	return a.Collect().Anomalies()
+}
+
+// DeallocationLists associates each function with the allocation sites
+// whose objects can be reclaimed at its exit ([Har89], §5.3).
+func (a *Analyzer) DeallocationLists() []apps.DeallocationList {
+	return apps.DeallocationLists(a.Collect())
+}
+
+// MayHappenInParallel reports whether the two labeled statements can run
+// concurrently.
+func (a *Analyzer) MayHappenInParallel(labelA, labelB string) bool {
+	return a.Collect().MayHappenInParallel(labelA, labelB)
+}
+
+// WriteConflictDOT renders the statement-level conflict graph over the
+// labeled statements in Graphviz format [MPC90].
+func (a *Analyzer) WriteConflictDOT(w io.Writer, labels ...string) error {
+	return a.Collect().WriteConflictDOT(w, labels...)
+}
+
+// Restructure applies a parallel schedule to the program (the labeled
+// statements become cobegin arms) and returns the transformed analyzer.
+func (a *Analyzer) Restructure(sched *Schedule) (*Analyzer, error) {
+	out, err := apps.ApplySchedule(a.Prog, sched)
+	if err != nil {
+		return nil, err
+	}
+	return FromProgram(out), nil
+}
+
+// VerifyAgainst explores both programs exhaustively and reports whether
+// their reachable outcome sets over all globals coincide.
+func (a *Analyzer) VerifyAgainst(other *Analyzer) apps.Equivalence {
+	return apps.VerifySchedule(a.Prog, other.Prog)
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const demoSrc = `
+var A; var B; var r2; var r4;
+
+func f1() { A = 1; return 0; }
+func f2() { var t = B; return t; }
+func f3() { B = 2; return 0; }
+func f4() { var t = A; return t; }
+
+func main() {
+  s1: f1();
+  s2: r2 = f2();
+  s3: f3();
+  s4: r4 = f4();
+}
+`
+
+func TestParseAndFormat(t *testing.T) {
+	a, err := Parse(demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Prog.Func("main") == nil {
+		t.Fatal("no main")
+	}
+	if !strings.Contains(a.Format(), "s1: f1();") {
+		t.Error("format lost labels")
+	}
+}
+
+func TestParseError(t *testing.T) {
+	_, err := Parse("var;")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.cb")
+	if err := os.WriteFile(path, []byte(demoSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Prog.Func("f1") == nil {
+		t.Error("f1 missing")
+	}
+	if _, err := ParseFile(filepath.Join(dir, "missing.cb")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestExploreReductions(t *testing.T) {
+	a, _ := Parse(`
+var g;
+func main() {
+  cobegin { g = 1; } || { g = 2; } coend
+}
+`)
+	full := a.Explore(ExploreOptions{Reduction: Full})
+	stub := a.Explore(ExploreOptions{Reduction: Stubborn})
+	if full.States == 0 || stub.States == 0 {
+		t.Fatal("no states")
+	}
+	if stub.States > full.States {
+		t.Error("stubborn larger than full")
+	}
+}
+
+func TestCollectCached(t *testing.T) {
+	a, _ := Parse(demoSrc)
+	c1 := a.Collect()
+	c2 := a.Collect()
+	if c1 != c2 {
+		t.Error("collector not cached")
+	}
+}
+
+func TestDependencesAndParallelize(t *testing.T) {
+	a, _ := Parse(demoSrc)
+	deps := a.Dependences("s1", "s2", "s3", "s4")
+	if len(deps) != 2 {
+		t.Fatalf("got %d deps, want 2", len(deps))
+	}
+	sched := a.Parallelize("s1", "s2", "s3", "s4")
+	if len(sched.Groups) != 2 {
+		t.Errorf("schedule: %s", sched)
+	}
+}
+
+func TestSideEffects(t *testing.T) {
+	a, _ := Parse(demoSrc)
+	se, err := a.SideEffects("f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(se) == 0 {
+		t.Error("f1 writes A; side effects empty")
+	}
+	if _, err := a.SideEffects("nope"); err == nil {
+		t.Error("expected error for unknown function")
+	}
+}
+
+func TestOracleIntegration(t *testing.T) {
+	a, _ := Parse(`
+var flag; var data; var out;
+func main() {
+  cobegin {
+    data = 42;
+    flag = 1;
+  } || {
+    spin: while flag == 0 { skip; }
+    out = data;
+  } coend
+}
+`)
+	v := a.NewOracle().HoistLoad("spin", "flag")
+	if v.Safe {
+		t.Errorf("hoist must be refused: %s", v)
+	}
+}
+
+func TestAnomalies(t *testing.T) {
+	a, _ := Parse(`
+var g;
+func main() {
+  cobegin { g = 1; } || { g = 2; } coend
+}
+`)
+	if len(a.Anomalies()) == 0 {
+		t.Error("write/write race not reported")
+	}
+}
+
+func TestPlanDelays(t *testing.T) {
+	a, _ := Parse(demoSrc)
+	plan := a.PlanDelays([][]string{{"s1", "s2"}, {"s3", "s4"}})
+	if !plan.Acyclic {
+		t.Errorf("plan should be legal:\n%s", plan)
+	}
+}
+
+func TestPlacements(t *testing.T) {
+	a, _ := Parse(`
+var sink;
+func main() {
+  b1: var p = malloc(1);
+  cobegin { *p = 1; } || { sink = *p; } coend
+}
+`)
+	rep := a.Placements("b1")
+	if !strings.Contains(rep.String(), "b1: shared") {
+		t.Errorf("b1 should be shared:\n%s", rep)
+	}
+}
+
+func TestAbstractWith(t *testing.T) {
+	a, _ := Parse(`
+var n;
+func main() {
+  var i = 0;
+  while i < 4 { i = i + 1; }
+  n = i;
+}
+`)
+	res := a.AbstractWith(AbstractOptions{})
+	v, ok := res.GlobalInvariant("n")
+	if !ok || !v.CoversInt(4) {
+		t.Errorf("n = %v (ok=%v), must cover 4", v, ok)
+	}
+	if a.Abstract() == nil || a.Abstract() != a.Abstract() {
+		t.Error("Abstract should cache")
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func corpusDir(t *testing.T) string {
+	t.Helper()
+	// internal/core → repo root.
+	return filepath.Join("..", "..", "testdata")
+}
+
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(corpusDir(t))
+	if err != nil {
+		t.Fatalf("testdata: %v", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".cb") {
+			out = append(out, filepath.Join(corpusDir(t), e.Name()))
+		}
+	}
+	if len(out) < 5 {
+		t.Fatalf("corpus too small: %d programs", len(out))
+	}
+	return out
+}
+
+// Every corpus program parses, round-trips through the printer, explores
+// without truncation under both reductions with identical result sets,
+// and passes a full analysis sweep.
+func TestCorpusPrograms(t *testing.T) {
+	// Programs whose races intentionally allow divergence or failure.
+	intentionallyRacy := map[string]bool{"barrier.cb": true}
+	for _, path := range corpusFiles(t) {
+		path := path
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			a, err := ParseFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Round-trip.
+			if _, err := Parse(a.Format()); err != nil {
+				t.Fatalf("printer output does not reparse: %v", err)
+			}
+			full := a.Explore(ExploreOptions{Reduction: Full, MaxConfigs: 1 << 20})
+			if full.Truncated {
+				t.Fatal("full exploration truncated")
+			}
+			red := a.Explore(ExploreOptions{Reduction: Stubborn, Coarsen: true, MaxConfigs: 1 << 20})
+			if red.Truncated {
+				t.Fatal("reduced exploration truncated")
+			}
+			if got, want := red.TerminalStoreSet(), full.TerminalStoreSet(); !equalStr(got, want) {
+				t.Errorf("reductions changed the result-configurations\n got %v\nwant %v", got, want)
+			}
+			if !intentionallyRacy[name] && len(full.Errors) != 0 {
+				t.Errorf("unexpected error state: %s", full.Errors[0].Err)
+			}
+			// The analysis sweep must not panic and must produce something.
+			_ = a.Anomalies()
+			_ = a.DeallocationLists()
+			if abs := a.Abstract(); abs.Truncated {
+				t.Error("abstract interpretation truncated")
+			}
+		})
+	}
+}
+
+// Corpus assertions hold in EVERY interleaving (except the intentionally
+// racy ones): no error terminal anywhere.
+func TestCorpusAssertionsUniversal(t *testing.T) {
+	for _, path := range corpusFiles(t) {
+		name := filepath.Base(path)
+		if name == "barrier.cb" {
+			continue
+		}
+		a, err := ParseFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := a.Explore(ExploreOptions{Reduction: Full, MaxConfigs: 1 << 20})
+		for _, e := range res.Errors {
+			t.Errorf("%s: %s", name, e.Err)
+		}
+	}
+}
+
+// The barrier program has the classic lost-update bug on its arrival
+// counter: some interleavings never release the barrier. Divergence
+// detection must find them.
+func TestCorpusBarrierDiverges(t *testing.T) {
+	a, err := ParseFile(filepath.Join(corpusDir(t), "barrier.cb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.Explore(ExploreOptions{Reduction: Full, KeepGraph: true})
+	if len(res.Graph.Divergent()) == 0 {
+		t.Error("lost-update barrier should have divergent states")
+	}
+	// But successful schedules exist too.
+	if len(res.Terminals) == 0 {
+		t.Error("some interleavings do release the barrier")
+	}
+}
+
+func equalStr(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReport(t *testing.T) {
+	a, err := Parse(`
+var g; var out;
+func pure(x) { return x * 2; }
+func impure() { g = g + 1; return g; }
+func main() {
+  b1: var p = malloc(1);
+  s1: *p = 5;
+  s2: out = pure(3);
+  cobegin { w1: g = 1; } || { w2: g = 2; } coend
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := a.Report(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# psa analysis report",
+		"## State space",
+		"| full |",
+		"| stubborn+coarsen |",
+		"write/write between `w1` and `w2`",
+		"## Memory placement",
+		"b1:",
+		"## Function purity",
+		"pure: SAFE",
+		"impure: UNSAFE",
+		"## Unreachable statements",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportOnCorpus(t *testing.T) {
+	// The report must render for every corpus program without error.
+	for _, path := range corpusFiles(t) {
+		a, err := ParseFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := a.Report(&b); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+		if len(b.String()) < 100 {
+			t.Errorf("%s: implausibly short report", path)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"psa/internal/apps"
+	"psa/internal/lang"
+)
+
+// Report writes a markdown summary of every analysis the framework offers
+// for the program: state-space statistics under each reduction, access
+// anomalies, data dependences among all labeled statements, memory
+// placement for every labeled allocation, deallocation lists, function
+// purity, and unreachable code. It is the one-command overview
+// `psa -report` prints.
+func (a *Analyzer) Report(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("# psa analysis report\n\n")
+
+	// State space.
+	b.WriteString("## State space\n\n")
+	b.WriteString("| strategy | states | edges | terminals | errors |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, cfg := range []struct {
+		name string
+		opts ExploreOptions
+	}{
+		{"full", ExploreOptions{Reduction: Full}},
+		{"full+coarsen", ExploreOptions{Reduction: Full, Coarsen: true}},
+		{"stubborn", ExploreOptions{Reduction: Stubborn}},
+		{"stubborn+coarsen", ExploreOptions{Reduction: Stubborn, Coarsen: true}},
+	} {
+		res := a.Explore(cfg.opts)
+		trunc := ""
+		if res.Truncated {
+			trunc = " (truncated)"
+		}
+		fmt.Fprintf(&b, "| %s | %d%s | %d | %d | %d |\n",
+			cfg.name, res.States, trunc, res.Edges, len(res.Terminals), len(res.Errors))
+	}
+
+	// Anomalies.
+	b.WriteString("\n## Access anomalies\n\n")
+	anomalies := a.Anomalies()
+	if len(anomalies) == 0 {
+		b.WriteString("none\n")
+	}
+	for _, an := range anomalies {
+		kind := "read/write"
+		if an.WriteWrite {
+			kind = "write/write"
+		}
+		fmt.Fprintf(&b, "- %s between `%s` and `%s` on %s\n",
+			kind, a.describe(an.StmtA), a.describe(an.StmtB), an.Loc)
+	}
+
+	// Dependences among all labels.
+	labels := a.Prog.SortedLabels()
+	if len(labels) >= 2 {
+		b.WriteString("\n## Data dependences (labeled statements)\n\n")
+		deps := a.Dependences(labels...)
+		if len(deps) == 0 {
+			b.WriteString("none — all labeled statements are independent\n")
+		}
+		for _, d := range deps {
+			fmt.Fprintf(&b, "- %s\n", d)
+		}
+		sched := a.Parallelize(labels...)
+		fmt.Fprintf(&b, "\nfinest schedule: `%s`\n", sched)
+	}
+
+	// Placements for labeled allocations.
+	var allocLabels []string
+	for _, l := range labels {
+		if s := a.Prog.StmtByLabel(l); s != nil && stmtAllocates(s) {
+			allocLabels = append(allocLabels, l)
+		}
+	}
+	if len(allocLabels) > 0 {
+		b.WriteString("\n## Memory placement\n\n")
+		rep := a.Placements(allocLabels...)
+		for _, line := range strings.Split(strings.TrimSpace(rep.String()), "\n") {
+			fmt.Fprintf(&b, "- %s\n", line)
+		}
+	}
+
+	// Deallocation lists.
+	if lists := a.DeallocationLists(); len(lists) > 0 {
+		b.WriteString("\n## Deallocation lists\n\n")
+		for _, dl := range lists {
+			fmt.Fprintf(&b, "- %s\n", dl)
+		}
+	}
+
+	// Purity.
+	b.WriteString("\n## Function purity (§5.1)\n\n")
+	names := make([]string, 0, len(a.Prog.Funcs))
+	for _, f := range a.Prog.Funcs {
+		if f.Name != "main" {
+			names = append(names, f.Name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		b.WriteString("no functions besides main\n")
+	}
+	for _, n := range names {
+		fmt.Fprintf(&b, "- %s: %s\n", n, apps.PureCall(a.Collect(), n))
+	}
+
+	// Unreachable code.
+	b.WriteString("\n## Unreachable statements\n\n")
+	un := a.Abstract().Unreachable()
+	if len(un) == 0 {
+		b.WriteString("none\n")
+	}
+	for _, s := range un {
+		fmt.Fprintf(&b, "- %s at %s\n", lang.DescribeStmt(s), s.NodePos())
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (a *Analyzer) describe(id lang.NodeID) string {
+	if n := a.Prog.Node(id); n != nil {
+		if s, ok := n.(lang.Stmt); ok {
+			return lang.DescribeStmt(s)
+		}
+	}
+	return fmt.Sprintf("node %d", id)
+}
+
+func stmtAllocates(s lang.Stmt) bool {
+	found := false
+	lang.WalkExprs(s, func(e lang.Expr) {
+		if _, ok := e.(*lang.MallocExpr); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// PureCall reports whether the named function is side-effect free.
+func (a *Analyzer) PureCall(fn string) Verdict {
+	return apps.PureCall(a.Collect(), fn)
+}

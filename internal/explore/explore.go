@@ -1,0 +1,404 @@
+// Package explore generates the reachable configuration space of a cobegin
+// program under the concrete semantics (package sem) and implements the
+// paper's two state-space reductions:
+//
+//   - stubborn sets (paper §2.2–2.3, after [Ove81, Val88/89/90]): at each
+//     expansion step only a conflict-closed subset of the enabled
+//     transitions is fired, eliminating redundant interleavings while
+//     producing exactly the same set of result-configurations;
+//   - virtual coarsening (paper Observation 5, after [Pnu86]): maximal runs
+//     of a single process containing at most one critical reference are
+//     fused into one transition.
+//
+// The explorer reports state/edge counts (the quantities behind the
+// paper's Figures 3 and 5 and the dining-philosophers scaling claim) and
+// streams instrumentation (access events, co-enabled conflicts) to the
+// analyses of package analysis.
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"psa/internal/lang"
+	"psa/internal/sem"
+)
+
+// Reduction selects the expansion strategy.
+type Reduction uint8
+
+// Reduction strategies.
+const (
+	// Full expands every enabled transition at every configuration.
+	Full Reduction = iota
+	// Stubborn expands a stubborn set per configuration (Algorithm 1).
+	Stubborn
+)
+
+func (r Reduction) String() string {
+	if r == Stubborn {
+		return "stubborn"
+	}
+	return "full"
+}
+
+// Options configures an exploration.
+type Options struct {
+	// Reduction selects full or stubborn-set expansion (default Full).
+	Reduction Reduction
+	// Coarsen enables virtual coarsening of non-critical runs.
+	Coarsen bool
+	// Granularity is forwarded to the semantics (default sem.GranRef).
+	Granularity sem.Granularity
+	// MaxConfigs aborts exploration after this many distinct
+	// configurations (default 1<<20).
+	MaxConfigs int
+	// CollectEvents retains per-edge access events and allocation events
+	// for the analyses; off by default to keep big explorations cheap.
+	CollectEvents bool
+	// KeepGraph retains the explicit configuration graph (Result.Graph)
+	// for witness traces, divergence detection, and DOT export.
+	KeepGraph bool
+	// NoCanonKeys disables heap-address canonicalization in state
+	// identity (the DESIGN.md §5 ablation): allocation-order and garbage
+	// differences then keep configurations apart.
+	NoCanonKeys bool
+	// Workers > 1 explores with that many goroutines (level-synchronized
+	// BFS); 0 or 1 is sequential. All counts and result sets are
+	// identical to the sequential explorer's; only the graph's discovery
+	// parents may differ when two same-level states tie for a successor.
+	Workers int
+	// Sink, when non-nil, receives instrumentation callbacks during
+	// exploration regardless of CollectEvents.
+	Sink Sink
+}
+
+// Sink receives instrumentation during exploration. Implementations live
+// in package analysis.
+type Sink interface {
+	// Transition is called once per explored edge with its step result.
+	Transition(res *sem.StepResult)
+	// CoEnabled is called for every pair of co-enabled conflicting
+	// actions observed at some reachable configuration: stmtA of one
+	// process and stmtB of another both enabled, with overlapping access
+	// sets of which at least one side writes.
+	CoEnabled(c *sem.Config, stmtA, stmtB lang.NodeID, loc sem.Loc, writeWrite bool)
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// States is the number of distinct configurations reached (including
+	// the initial one); Edges the number of transitions fired.
+	States int
+	Edges  int
+	// Terminals maps canonical keys to terminal configurations (the
+	// paper's result-configurations). Error states are included and also
+	// listed in Errors.
+	Terminals map[sem.Key]*sem.Config
+	Errors    []*sem.Config
+	// Events and Allocs hold all instrumentation when CollectEvents.
+	Events []sem.Event
+	Allocs []sem.AllocEvent
+	// Truncated reports that MaxConfigs was hit; counts are lower bounds
+	// and Terminals may be incomplete.
+	Truncated bool
+	// MaxFrontier is the peak size of the BFS frontier (memory proxy).
+	MaxFrontier int
+	// Graph is the explicit configuration graph (nil unless KeepGraph).
+	Graph *Graph
+}
+
+// Explore runs prog to exhaustion under opts.
+func Explore(prog *lang.Program, opts Options) *Result {
+	c0 := sem.NewConfig(prog)
+	if opts.Granularity != sem.GranRef {
+		c0 = c0.SetGranularity(opts.Granularity)
+	}
+	return ExploreFrom(c0, opts)
+}
+
+// ExploreFrom runs from a prepared initial configuration.
+func ExploreFrom(c0 *sem.Config, opts Options) *Result {
+	if opts.MaxConfigs <= 0 {
+		opts.MaxConfigs = 1 << 20
+	}
+	if opts.Workers > 1 || opts.Workers < 0 {
+		return exploreParallel(c0, opts, opts.Workers)
+	}
+	var sm *sem.Summaries
+	if opts.Reduction == Stubborn {
+		sm = sem.NewSummaries(c0.Prog)
+	}
+	res := &Result{Terminals: map[sem.Key]*sem.Config{}}
+	if opts.KeepGraph {
+		res.Graph = &Graph{Nodes: map[sem.Key]*Node{}}
+	}
+	type item struct {
+		cfg *sem.Config
+		key sem.Key
+	}
+	keyOf := (*sem.Config).Encode
+	if opts.NoCanonKeys {
+		keyOf = (*sem.Config).EncodeNoCanon
+	}
+	seen := map[sem.Key]bool{}
+	k0 := keyOf(c0)
+	queue := []item{{c0, k0}}
+	seen[k0] = true
+	res.States = 1
+	if res.Graph != nil {
+		res.Graph.Nodes[k0] = &Node{Key: k0, Index: 0}
+		res.Graph.Order = append(res.Graph.Order, k0)
+	}
+
+	for len(queue) > 0 {
+		if len(queue) > res.MaxFrontier {
+			res.MaxFrontier = len(queue)
+		}
+		cur := queue[0]
+		queue = queue[1:]
+
+		enabled := cur.cfg.Enabled()
+		if len(enabled) == 0 {
+			res.Terminals[cur.key] = cur.cfg
+			if cur.cfg.Err != "" {
+				res.Errors = append(res.Errors, cur.cfg)
+			}
+			if res.Graph != nil {
+				n := res.Graph.Nodes[cur.key]
+				n.Terminal = true
+				n.Err = cur.cfg.Err
+			}
+			continue
+		}
+
+		if opts.Sink != nil {
+			reportCoEnabled(cur.cfg, enabled, opts.Sink)
+		}
+
+		expand := enabled
+		if opts.Reduction == Stubborn {
+			expand = stubbornSet(cur.cfg, enabled, sm)
+		}
+
+		// A coarsened run may only absorb a critical action beyond its
+		// first step under FULL expansion: with stubborn sets the fired
+		// transition must stay within the access set the stubborn check
+		// vetted (the first action), or interleavings are lost.
+		absorbLateCritical := opts.Reduction == Full
+
+		for _, pi := range expand {
+			step := fire(cur.cfg, pi, opts, absorbLateCritical)
+			res.Edges++
+			if opts.Sink != nil {
+				opts.Sink.Transition(step)
+			}
+			if opts.CollectEvents {
+				res.Events = append(res.Events, step.Events...)
+				res.Allocs = append(res.Allocs, step.Allocs...)
+			}
+			k := keyOf(step.Config)
+			if res.Graph != nil {
+				res.Graph.Nodes[cur.key].Out = append(res.Graph.Nodes[cur.key].Out,
+					Edge{To: k, Proc: step.Proc, Stmt: describeStep(step)})
+			}
+			if !seen[k] {
+				seen[k] = true
+				res.States++
+				if res.Graph != nil {
+					res.Graph.Nodes[k] = &Node{
+						Key: k, Index: len(res.Graph.Order),
+						Parent: cur.key, ParentProc: step.Proc, ParentStmt: describeStep(step),
+					}
+					res.Graph.Order = append(res.Graph.Order, k)
+				}
+				if res.States >= opts.MaxConfigs {
+					res.Truncated = true
+					return res
+				}
+				queue = append(queue, item{step.Config, k})
+			}
+		}
+	}
+	return res
+}
+
+// fire executes one (possibly coarsened) transition of process pi.
+func fire(c *sem.Config, pi int, opts Options, absorbLateCritical bool) *sem.StepResult {
+	budget := 0
+	if absorbLateCritical && !c.AccessCritical(c.NextAccess(pi)) {
+		budget = 1
+	}
+	step := c.Step(pi)
+	if !opts.Coarsen {
+		return step
+	}
+	// Virtual coarsening: keep extending the run while the same process
+	// is enabled, absorbing any number of non-critical actions and at
+	// most one critical reference in total (Observation 5). Non-critical
+	// actions are invisible to other threads (both-movers); the single
+	// critical action is the block's linearization point.
+	const maxRun = 1024
+	path := step.Proc
+	for n := 0; n < maxRun; n++ {
+		nc := step.Config
+		if nc.Err != "" {
+			return step
+		}
+		pj := procIndex(nc, path)
+		if pj < 0 {
+			return step // process finished (join)
+		}
+		enabledHere := false
+		for _, e := range nc.Enabled() {
+			if e == pj {
+				enabledHere = true
+				break
+			}
+		}
+		if !enabledHere {
+			return step
+		}
+		// Fork boundaries stay visible: a cobegin creates processes, so
+		// stop the run before it.
+		if s := nc.NextStmt(pj); s != nil {
+			if _, isFork := s.(*lang.CobeginStmt); isFork {
+				return step
+			}
+		}
+		acc := nc.NextAccess(pj)
+		if nc.AccessCritical(acc) {
+			if budget == 0 {
+				return step
+			}
+			budget--
+		}
+		next := nc.Step(pj)
+		step = &sem.StepResult{
+			Config: next.Config,
+			Events: append(step.Events, next.Events...),
+			Allocs: append(step.Allocs, next.Allocs...),
+			Stmt:   step.Stmt,
+			Proc:   path,
+		}
+	}
+	return step
+}
+
+func procIndex(c *sem.Config, path string) int {
+	for i, p := range c.Procs {
+		if p.Path == path {
+			return i
+		}
+	}
+	return -1
+}
+
+// reportCoEnabled reports conflicting co-enabled action pairs to the sink.
+func reportCoEnabled(c *sem.Config, enabled []int, sink Sink) {
+	accs := make([]sem.AccessSet, len(enabled))
+	for k, pi := range enabled {
+		accs[k] = c.NextAccess(pi)
+	}
+	for a := 0; a < len(enabled); a++ {
+		for b := a + 1; b < len(enabled); b++ {
+			loc, ww, ok := accessConflict(accs[a], accs[b])
+			if !ok {
+				continue
+			}
+			sink.CoEnabled(c, c.NextActionID(enabled[a]), c.NextActionID(enabled[b]), loc, ww)
+		}
+	}
+}
+
+// accessConflict finds a conflicting location between two access sets:
+// write/write or read/write overlap. Phantom heap cells (negative base)
+// never conflict.
+func accessConflict(a, b sem.AccessSet) (sem.Loc, bool, bool) {
+	real := func(l sem.Loc) bool { return l.Space != sem.SpaceHeap || l.Base >= 0 }
+	for _, wa := range a.Writes {
+		if !real(wa) {
+			continue
+		}
+		for _, wb := range b.Writes {
+			if wa == wb {
+				return wa, true, true
+			}
+		}
+		for _, rb := range b.Reads {
+			if wa == rb {
+				return wa, false, true
+			}
+		}
+	}
+	for _, wb := range b.Writes {
+		if !real(wb) {
+			continue
+		}
+		for _, ra := range a.Reads {
+			if wb == ra {
+				return wb, false, true
+			}
+		}
+	}
+	return sem.Loc{}, false, false
+}
+
+// OutcomeSet projects the terminal (non-error) configurations onto the
+// named globals, returning the sorted set of value tuples — the
+// "result-configurations" the paper's examples enumerate (e.g. the legal
+// (x,y) values of Figure 2).
+func (r *Result) OutcomeSet(names ...string) [][]int64 {
+	seen := map[string][]int64{}
+	for _, c := range r.Terminals {
+		if c.Err != "" {
+			continue
+		}
+		tuple := make([]int64, len(names))
+		for i, n := range names {
+			v, ok := c.GlobalByName(n)
+			if ok && v.Kind == sem.KindInt {
+				tuple[i] = v.N
+			}
+		}
+		seen[fmt.Sprint(tuple)] = tuple
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]int64, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}
+
+// TerminalStoreSet returns the sorted set of canonical terminal keys; two
+// explorations are result-equivalent iff these sets match. Canonical keys
+// rename heap addresses, so explorations that allocate in different orders
+// still compare equal; at a terminal configuration the control component
+// is trivial, so the key is effectively the store.
+func (r *Result) TerminalStoreSet() []string {
+	set := map[string]bool{}
+	for _, c := range r.Terminals {
+		if c.Err != "" {
+			set["ERR:"+c.Err] = true
+			continue
+		}
+		set[string(c.Encode())] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("states=%d edges=%d terminals=%d errors=%d truncated=%v",
+		r.States, r.Edges, len(r.Terminals), len(r.Errors), r.Truncated)
+}

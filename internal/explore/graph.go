@@ -1,0 +1,180 @@
+package explore
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"psa/internal/lang"
+	"psa/internal/sem"
+)
+
+// Graph is the explicit configuration graph, built when Options.KeepGraph
+// is set: the object behind the paper's state-graph figures (3 and 5) and
+// behind witness extraction and divergence detection.
+type Graph struct {
+	// Nodes maps canonical keys to node records, in discovery order.
+	Nodes map[sem.Key]*Node
+	// Order lists keys in discovery order (Order[0] is the initial
+	// configuration).
+	Order []sem.Key
+}
+
+// Node is one configuration in the graph.
+type Node struct {
+	Key      sem.Key
+	Index    int // discovery index
+	Terminal bool
+	Err      string
+	// Parent edge (discovery tree) for witness reconstruction.
+	Parent     sem.Key
+	ParentProc string
+	ParentStmt string
+	// Out edges.
+	Out []Edge
+}
+
+// Edge is one fired transition.
+type Edge struct {
+	To   sem.Key
+	Proc string
+	Stmt string
+}
+
+// TraceStep is one step of a witness schedule.
+type TraceStep struct {
+	Proc string
+	Stmt string
+}
+
+// TraceTo reconstructs a schedule (sequence of process/statement choices)
+// from the initial configuration to the given key, using discovery-tree
+// parents; ok is false when the key is not in the graph.
+func (g *Graph) TraceTo(key sem.Key) ([]TraceStep, bool) {
+	n, ok := g.Nodes[key]
+	if !ok {
+		return nil, false
+	}
+	var rev []TraceStep
+	for n.Index != 0 {
+		rev = append(rev, TraceStep{Proc: n.ParentProc, Stmt: n.ParentStmt})
+		n = g.Nodes[n.Parent]
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// Divergent returns the keys of configurations from which NO terminal
+// configuration is reachable: the program can run forever once it enters
+// one (Taylor's "infinite waits" [Tay83], e.g. two threads each spinning
+// on a flag only the other would set). Empty when every reachable
+// configuration can still terminate.
+func (g *Graph) Divergent() []sem.Key {
+	// Reverse reachability from terminals.
+	rev := map[sem.Key][]sem.Key{}
+	var terms []sem.Key
+	for k, n := range g.Nodes {
+		if n.Terminal {
+			terms = append(terms, k)
+		}
+		for _, e := range n.Out {
+			rev[e.To] = append(rev[e.To], k)
+		}
+	}
+	canTerm := map[sem.Key]bool{}
+	queue := terms
+	for _, t := range terms {
+		canTerm[t] = true
+	}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		for _, p := range rev[k] {
+			if !canTerm[p] {
+				canTerm[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	var out []sem.Key
+	for _, k := range g.Order {
+		if !canTerm[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// WriteDOT renders the graph in Graphviz format, the machine-generated
+// counterpart of the paper's hand-drawn Figures 3 and 5. Nodes show their
+// discovery index; terminals are doubly circled, error states filled, and
+// divergent states (no path to a terminal) shaded.
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	divergent := map[sem.Key]bool{}
+	for _, k := range g.Divergent() {
+		divergent[k] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=circle fontsize=10];\n", title)
+	for _, k := range g.Order {
+		n := g.Nodes[k]
+		attrs := []string{fmt.Sprintf("label=%q", fmt.Sprint(n.Index))}
+		switch {
+		case n.Err != "":
+			attrs = append(attrs, "shape=octagon", "style=filled", "fillcolor=lightcoral")
+		case n.Terminal:
+			attrs = append(attrs, "shape=doublecircle")
+		case divergent[k]:
+			attrs = append(attrs, "style=filled", "fillcolor=lightgray")
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", n.Index, strings.Join(attrs, " "))
+	}
+	for _, k := range g.Order {
+		n := g.Nodes[k]
+		edges := append([]Edge(nil), n.Out...)
+		sort.Slice(edges, func(i, j int) bool {
+			if g.Nodes[edges[i].To].Index != g.Nodes[edges[j].To].Index {
+				return g.Nodes[edges[i].To].Index < g.Nodes[edges[j].To].Index
+			}
+			return edges[i].Proc < edges[j].Proc
+		})
+		for _, e := range edges {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=%q fontsize=8];\n",
+				n.Index, g.Nodes[e.To].Index, e.Proc+":"+e.Stmt)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// describeStep renders the statement a step executed, for edge labels.
+func describeStep(res *sem.StepResult) string {
+	if res.Stmt == nil {
+		return "commit"
+	}
+	if l := res.Stmt.Label(); l != "" {
+		return l
+	}
+	switch s := res.Stmt.(type) {
+	case *lang.AssignStmt:
+		return lang.ExprString(s.Target) + "=…"
+	case *lang.CobeginStmt:
+		return "cobegin"
+	case *lang.IfStmt:
+		return "if"
+	case *lang.WhileStmt:
+		return "while"
+	case *lang.CallStmt:
+		return lang.ExprString(s.Call.Callee) + "()"
+	case *lang.ReturnStmt:
+		return "return"
+	case *lang.VarStmt:
+		return "var " + s.Name
+	default:
+		return fmt.Sprintf("%T", s)
+	}
+}

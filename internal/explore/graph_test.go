@@ -1,0 +1,222 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"psa/internal/lang"
+	"psa/internal/sem"
+	"psa/internal/workloads"
+)
+
+func TestGraphShapeConsistent(t *testing.T) {
+	res := Explore(workloads.Fig2(), Options{Reduction: Full, KeepGraph: true})
+	if res.Graph == nil {
+		t.Fatal("no graph kept")
+	}
+	if len(res.Graph.Nodes) != res.States {
+		t.Errorf("graph has %d nodes, result says %d states", len(res.Graph.Nodes), res.States)
+	}
+	edges := 0
+	for _, n := range res.Graph.Nodes {
+		edges += len(n.Out)
+	}
+	if edges != res.Edges {
+		t.Errorf("graph has %d edges, result says %d", edges, res.Edges)
+	}
+	terms := 0
+	for _, n := range res.Graph.Nodes {
+		if n.Terminal {
+			terms++
+		}
+	}
+	if terms != len(res.Terminals) {
+		t.Errorf("graph has %d terminals, result says %d", terms, len(res.Terminals))
+	}
+}
+
+func TestGraphNilWithoutOption(t *testing.T) {
+	res := Explore(workloads.Fig2(), Options{Reduction: Full})
+	if res.Graph != nil {
+		t.Error("graph kept without KeepGraph")
+	}
+}
+
+// TestTraceReplay: a witness trace to an error state, replayed step by
+// step through the concrete semantics, must land exactly on that state.
+func TestTraceReplay(t *testing.T) {
+	prog := lang.MustParse(`
+var g;
+func main() {
+  cobegin { g = 1; } || { a: assert g == 0; } coend
+}
+`)
+	res := Explore(prog, Options{Reduction: Full, KeepGraph: true})
+	if len(res.Errors) == 0 {
+		t.Fatal("expected an error state")
+	}
+	errKey := res.Errors[0].Encode()
+	trace, ok := res.Graph.TraceTo(errKey)
+	if !ok {
+		t.Fatal("no trace to the error state")
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace to non-initial state")
+	}
+	// Replay.
+	c := sem.NewConfig(prog)
+	for i, step := range trace {
+		idx := -1
+		for j, p := range c.Procs {
+			if p.Path == step.Proc {
+				idx = j
+			}
+		}
+		if idx < 0 {
+			t.Fatalf("step %d: process %s not present", i, step.Proc)
+		}
+		c = c.Step(idx).Config
+	}
+	if c.Encode() != errKey {
+		t.Errorf("replay landed on %q, want the error state", c.Encode())
+	}
+	if c.Err == "" {
+		t.Error("replayed state is not an error state")
+	}
+}
+
+func TestTraceToUnknownKey(t *testing.T) {
+	res := Explore(workloads.Fig2(), Options{Reduction: Full, KeepGraph: true})
+	if _, ok := res.Graph.TraceTo("nope"); ok {
+		t.Error("trace to unknown key should fail")
+	}
+}
+
+func TestTraceToInitial(t *testing.T) {
+	res := Explore(workloads.Fig2(), Options{Reduction: Full, KeepGraph: true})
+	trace, ok := res.Graph.TraceTo(res.Graph.Order[0])
+	if !ok || len(trace) != 0 {
+		t.Errorf("trace to initial = %v, %v; want empty, true", trace, ok)
+	}
+}
+
+func TestDivergenceBusyWaitNone(t *testing.T) {
+	// The busy-wait handoff always can terminate: no divergent states.
+	res := Explore(workloads.BusyWait(), Options{Reduction: Full, KeepGraph: true})
+	if div := res.Graph.Divergent(); len(div) != 0 {
+		t.Errorf("busy-wait reported %d divergent states", len(div))
+	}
+}
+
+func TestDivergenceCrossedWait(t *testing.T) {
+	// Both threads wait for each other: the whole space diverges (there
+	// is no terminal at all).
+	res := Explore(workloads.CrossedWait(), Options{Reduction: Full, KeepGraph: true})
+	if len(res.Terminals) != 0 {
+		t.Fatalf("crossed wait should never terminate, found %d terminals", len(res.Terminals))
+	}
+	div := res.Graph.Divergent()
+	if len(div) != res.States {
+		t.Errorf("%d of %d states divergent, want all", len(div), res.States)
+	}
+}
+
+func TestDivergencePartial(t *testing.T) {
+	// One branch deadlocks (waits on a flag nobody sets), the other
+	// terminates: divergent states exist but the initial state can still
+	// terminate... actually once the waiting arm is entered the state
+	// diverges only if the OTHER arm cannot unblock it.
+	prog := lang.MustParse(`
+var never; var done;
+func main() {
+  cobegin {
+    while never == 0 { skip; }
+    done = 1;
+  } || {
+    skip;
+  } coend
+}
+`)
+	res := Explore(prog, Options{Reduction: Full, KeepGraph: true})
+	if len(res.Terminals) != 0 {
+		t.Fatal("arm spins on a flag nobody sets; no terminal expected")
+	}
+	if div := res.Graph.Divergent(); len(div) == 0 {
+		t.Error("expected divergent states")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	res := Explore(workloads.Fig5Malloc(), Options{Reduction: Stubborn, KeepGraph: true})
+	var b strings.Builder
+	if err := res.Graph.WriteDOT(&b, "fig5"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"digraph \"fig5\"", "n0 ", "->", "doublecircle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Node count sanity: one "nK [" line per state.
+	if got := strings.Count(out, " ["); got < res.States {
+		t.Errorf("DOT seems to have too few node/edge decorations: %d", got)
+	}
+}
+
+func TestGraphWithStubbornStillConnected(t *testing.T) {
+	// Under reduction, the discovery tree must still reach every node.
+	res := Explore(workloads.Philosophers(3), Options{Reduction: Stubborn, Coarsen: true, KeepGraph: true})
+	for k, n := range res.Graph.Nodes {
+		if n.Index == 0 {
+			continue
+		}
+		if _, ok := res.Graph.Nodes[n.Parent]; !ok {
+			t.Fatalf("node %q has unknown parent", k)
+		}
+		if _, ok := res.Graph.TraceTo(k); !ok {
+			t.Fatalf("no trace to %q", k)
+		}
+	}
+}
+
+// Trace-replay property over the random corpus: for a sample of reachable
+// states (all terminals), the discovery-tree schedule must replay through
+// the concrete semantics to exactly that state.
+func TestTraceReplayCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus replay in -short mode")
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		prog := workloads.Random(seed)
+		res := Explore(prog, Options{Reduction: Full, KeepGraph: true, MaxConfigs: 1 << 16})
+		if res.Truncated {
+			continue
+		}
+		for key := range res.Terminals {
+			trace, ok := res.Graph.TraceTo(key)
+			if !ok {
+				t.Fatalf("seed %d: no trace to terminal", seed)
+			}
+			c := sem.NewConfig(prog)
+			bad := false
+			for _, step := range trace {
+				idx := -1
+				for j, p := range c.Procs {
+					if p.Path == step.Proc {
+						idx = j
+					}
+				}
+				if idx < 0 {
+					t.Errorf("seed %d: process %s missing during replay", seed, step.Proc)
+					bad = true
+					break
+				}
+				c = c.Step(idx).Config
+			}
+			if !bad && c.Encode() != key {
+				t.Errorf("seed %d: replay diverged from recorded terminal", seed)
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package explore
+
+import (
+	"runtime"
+	"sync"
+
+	"psa/internal/sem"
+)
+
+// exploreParallel is the multi-worker variant of ExploreFrom: a
+// level-synchronized breadth-first generation of the configuration space.
+// Each BFS level's frontier is split across workers; configuration
+// identity is deduplicated through a striped visited set, so the state
+// count, terminal set, and edge count are EXACTLY those of the
+// sequential explorer (the paper's numbers do not depend on how many
+// cores generated them — verified by differential tests).
+//
+// Instrumentation (Sink callbacks, collected events, graph bookkeeping)
+// is serialized per level in deterministic frontier order, so sinks see
+// the same stream regardless of worker count.
+func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var sm *sem.Summaries
+	if opts.Reduction == Stubborn {
+		sm = sem.NewSummaries(c0.Prog)
+	}
+	keyOf := (*sem.Config).Encode
+	if opts.NoCanonKeys {
+		keyOf = (*sem.Config).EncodeNoCanon
+	}
+
+	res := &Result{Terminals: map[sem.Key]*sem.Config{}}
+	if opts.KeepGraph {
+		res.Graph = &Graph{Nodes: map[sem.Key]*Node{}}
+	}
+
+	type item struct {
+		cfg *sem.Config
+		key sem.Key
+	}
+	// Striped visited set: lock contention spread over buckets.
+	const stripes = 64
+	var seenMu [stripes]sync.Mutex
+	seen := [stripes]map[sem.Key]bool{}
+	for i := range seen {
+		seen[i] = map[sem.Key]bool{}
+	}
+	claim := func(k sem.Key) bool {
+		s := int(k.Hash() % stripes)
+		seenMu[s].Lock()
+		defer seenMu[s].Unlock()
+		if seen[s][k] {
+			return false
+		}
+		seen[s][k] = true
+		return true
+	}
+
+	k0 := keyOf(c0)
+	claim(k0)
+	frontier := []item{{c0, k0}}
+	res.States = 1
+	if res.Graph != nil {
+		res.Graph.Nodes[k0] = &Node{Key: k0, Index: 0}
+		res.Graph.Order = append(res.Graph.Order, k0)
+	}
+
+	type expansion struct {
+		terminal bool
+		enabled  []int
+		steps    []*sem.StepResult
+		keys     []sem.Key
+		fresh    []bool
+	}
+
+	for len(frontier) > 0 {
+		if len(frontier) > res.MaxFrontier {
+			res.MaxFrontier = len(frontier)
+		}
+		exps := make([]expansion, len(frontier))
+
+		var wg sync.WaitGroup
+		chunk := (len(frontier) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(frontier) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					cur := frontier[i]
+					e := &exps[i]
+					e.enabled = cur.cfg.Enabled()
+					if len(e.enabled) == 0 {
+						e.terminal = true
+						continue
+					}
+					expand := e.enabled
+					if opts.Reduction == Stubborn {
+						expand = stubbornSet(cur.cfg, e.enabled, sm)
+					}
+					absorbLateCritical := opts.Reduction == Full
+					for _, pi := range expand {
+						step := fire(cur.cfg, pi, opts, absorbLateCritical)
+						k := keyOf(step.Config)
+						e.steps = append(e.steps, step)
+						e.keys = append(e.keys, k)
+						e.fresh = append(e.fresh, claim(k))
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+
+		// Deterministic sequential merge of the level's results.
+		var next []item
+		for i := range frontier {
+			cur := frontier[i]
+			e := &exps[i]
+			if e.terminal {
+				res.Terminals[cur.key] = cur.cfg
+				if cur.cfg.Err != "" {
+					res.Errors = append(res.Errors, cur.cfg)
+				}
+				if res.Graph != nil {
+					n := res.Graph.Nodes[cur.key]
+					n.Terminal = true
+					n.Err = cur.cfg.Err
+				}
+				continue
+			}
+			if opts.Sink != nil {
+				reportCoEnabled(cur.cfg, e.enabled, opts.Sink)
+			}
+			for j, step := range e.steps {
+				res.Edges++
+				if opts.Sink != nil {
+					opts.Sink.Transition(step)
+				}
+				if opts.CollectEvents {
+					res.Events = append(res.Events, step.Events...)
+					res.Allocs = append(res.Allocs, step.Allocs...)
+				}
+				k := e.keys[j]
+				if res.Graph != nil {
+					res.Graph.Nodes[cur.key].Out = append(res.Graph.Nodes[cur.key].Out,
+						Edge{To: k, Proc: step.Proc, Stmt: describeStep(step)})
+				}
+				if e.fresh[j] {
+					res.States++
+					if res.Graph != nil {
+						res.Graph.Nodes[k] = &Node{
+							Key: k, Index: len(res.Graph.Order),
+							Parent: cur.key, ParentProc: step.Proc, ParentStmt: describeStep(step),
+						}
+						res.Graph.Order = append(res.Graph.Order, k)
+					}
+					if res.States >= opts.MaxConfigs {
+						res.Truncated = true
+						return res
+					}
+					next = append(next, item{step.Config, k})
+				}
+			}
+		}
+		frontier = next
+	}
+	return res
+}

@@ -1,0 +1,133 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"psa/internal/sem"
+	"psa/internal/workloads"
+)
+
+// Parallel exploration must reproduce the sequential explorer's numbers
+// exactly: states, edges, terminal sets.
+func TestParallelMatchesSequential(t *testing.T) {
+	progs := map[string]Options{
+		"fig2-full":          {Reduction: Full},
+		"fig5-stubborn":      {Reduction: Stubborn},
+		"philo3-full":        {Reduction: Full},
+		"philo4-reduced":     {Reduction: Stubborn, Coarsen: true},
+		"workers-coarsened":  {Reduction: Full, Coarsen: true},
+		"peterson-reduced":   {Reduction: Stubborn, Coarsen: true},
+		"crossedwait-graphs": {Reduction: Full, KeepGraph: true},
+	}
+	sources := map[string]func() *sem.Config{
+		"fig2-full":          func() *sem.Config { return sem.NewConfig(workloads.Fig2()) },
+		"fig5-stubborn":      func() *sem.Config { return sem.NewConfig(workloads.Fig5Malloc()) },
+		"philo3-full":        func() *sem.Config { return sem.NewConfig(workloads.Philosophers(3)) },
+		"philo4-reduced":     func() *sem.Config { return sem.NewConfig(workloads.Philosophers(4)) },
+		"workers-coarsened":  func() *sem.Config { return sem.NewConfig(workloads.IndependentWorkers(3, 3)) },
+		"peterson-reduced":   func() *sem.Config { return sem.NewConfig(workloads.Peterson()) },
+		"crossedwait-graphs": func() *sem.Config { return sem.NewConfig(workloads.CrossedWait()) },
+	}
+	for name, opts := range progs {
+		t.Run(name, func(t *testing.T) {
+			seq := ExploreFrom(sources[name](), opts)
+			par := opts
+			par.Workers = 4
+			pres := ExploreFrom(sources[name](), par)
+			if pres.States != seq.States {
+				t.Errorf("states: parallel %d != sequential %d", pres.States, seq.States)
+			}
+			if pres.Edges != seq.Edges {
+				t.Errorf("edges: parallel %d != sequential %d", pres.Edges, seq.Edges)
+			}
+			if !reflect.DeepEqual(pres.TerminalStoreSet(), seq.TerminalStoreSet()) {
+				t.Error("terminal sets differ")
+			}
+			if opts.KeepGraph {
+				if len(pres.Graph.Nodes) != pres.States {
+					t.Error("parallel graph inconsistent")
+				}
+				if got, want := len(pres.Graph.Divergent()), len(seq.Graph.Divergent()); got != want {
+					t.Errorf("divergent: parallel %d != sequential %d", got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus in -short mode")
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		prog := workloads.Random(seed)
+		seq := Explore(prog, Options{Reduction: Full, MaxConfigs: 1 << 17})
+		if seq.Truncated {
+			continue
+		}
+		par := Explore(prog, Options{Reduction: Full, MaxConfigs: 1 << 17, Workers: 3})
+		if par.States != seq.States || par.Edges != seq.Edges {
+			t.Errorf("seed %d: parallel %d/%d != sequential %d/%d",
+				seed, par.States, par.Edges, seq.States, seq.Edges)
+		}
+		if !reflect.DeepEqual(par.TerminalStoreSet(), seq.TerminalStoreSet()) {
+			t.Errorf("seed %d: terminal sets differ", seed)
+		}
+	}
+}
+
+func TestParallelSinkSeesEverything(t *testing.T) {
+	sink := &recordingSink{}
+	res := Explore(workloads.Fig2(), Options{Reduction: Full, Workers: 4, Sink: sink})
+	if sink.transitions != res.Edges {
+		t.Errorf("sink saw %d transitions, explorer counted %d", sink.transitions, res.Edges)
+	}
+	if len(sink.conflicts) == 0 {
+		t.Error("co-enabled conflicts not reported in parallel mode")
+	}
+}
+
+func TestParallelTruncation(t *testing.T) {
+	res := Explore(workloads.Philosophers(4), Options{Reduction: Full, MaxConfigs: 200, Workers: 4})
+	if !res.Truncated {
+		t.Error("expected truncation")
+	}
+}
+
+func TestParallelTraceReplay(t *testing.T) {
+	prog := workloads.PetersonBroken()
+	res := Explore(prog, Options{Reduction: Full, KeepGraph: true, Workers: 4})
+	if len(res.Errors) == 0 {
+		t.Fatal("violation expected")
+	}
+	key := res.Errors[0].Encode()
+	trace, ok := res.Graph.TraceTo(key)
+	if !ok {
+		t.Fatal("no trace")
+	}
+	c := sem.NewConfig(prog)
+	for _, step := range trace {
+		idx := -1
+		for j, p := range c.Procs {
+			if p.Path == step.Proc {
+				idx = j
+			}
+		}
+		if idx < 0 {
+			t.Fatal("replay lost a process")
+		}
+		c = c.Step(idx).Config
+	}
+	if c.Encode() != key {
+		t.Error("parallel-discovered trace does not replay to its state")
+	}
+}
+
+func TestNegativeWorkersMeansAllCores(t *testing.T) {
+	res := Explore(workloads.Fig2(), Options{Reduction: Full, Workers: -1})
+	seq := Explore(workloads.Fig2(), Options{Reduction: Full})
+	if res.States != seq.States {
+		t.Errorf("auto-worker run differs: %d vs %d", res.States, seq.States)
+	}
+}

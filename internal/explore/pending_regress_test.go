@@ -1,0 +1,33 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"psa/internal/lang"
+)
+
+func TestStubbornSeesPendingReturnWrite(t *testing.T) {
+	// Arm 0 computes h = f() where f reads shared g: the delivery of the
+	// return value into shared h splits off as its own transition whose
+	// write must be visible to the stubborn-set future check — otherwise
+	// arm 1's accesses could be wrongly commuted past it.
+	prog := lang.MustParse(`
+var g = 1; var h;
+func f() { return g + 10; }
+func main() {
+  cobegin {
+    h = f();
+  } || {
+    g = 2;
+    h = 5;
+  } coend
+}
+`)
+	full := Explore(prog, Options{Reduction: Full})
+	stub := Explore(prog, Options{Reduction: Stubborn})
+	if !reflect.DeepEqual(full.TerminalStoreSet(), stub.TerminalStoreSet()) {
+		t.Errorf("stubborn lost interleavings around the pending return write:\nfull: %v\nstub: %v",
+			full.TerminalStoreSet(), stub.TerminalStoreSet())
+	}
+}

@@ -1,0 +1,114 @@
+package explore
+
+import (
+	"psa/internal/sem"
+)
+
+// stubbornSet implements the paper's Algorithm 1 (an improved version of
+// Overman's algorithm [Ove81], in the stubborn-set framework of
+// [Val88/89/90]). At an expansion step let r_i and w_i be the locations
+// the next action of process i reads and writes:
+//
+//  1. If some enabled process i is LOCAL — no other live process can ever
+//     read or write anything in w_i, or write anything in r_i — then the
+//     singleton {i} is a stubborn set: the action commutes with every
+//     action any other process may ever take, so firing it alone loses no
+//     result-configurations (and it is the preferred set, having the
+//     fewest enabled transitions).
+//
+//  2. Otherwise a conflict-closed set is grown from each enabled seed:
+//     starting from {i}, any process whose FUTURE may conflict with the
+//     next action of a member must join the set. If a conflicting process
+//     is not itself enabled (e.g. a parent waiting on a join), the closure
+//     fails — its conflicting action cannot be brought into the set — and
+//     the next seed is tried. The smallest successful closure wins; if
+//     all fail, every enabled transition is expanded (full step).
+//
+// Future conflicts are judged against the static, interprocedurally
+// conservative Summaries of package sem, so locality is never claimed
+// when a later action of another process could distinguish the orders.
+func stubbornSet(c *sem.Config, enabled []int, sm *sem.Summaries) []int {
+	if len(enabled) <= 1 {
+		return enabled
+	}
+	accs := make(map[int]sem.AccessSet, len(enabled))
+	for _, pi := range enabled {
+		accs[pi] = c.NextAccess(pi)
+	}
+	futures := make([]*sem.Summary, len(c.Procs))
+	for i, p := range c.Procs {
+		if p.Status == sem.StatusDone {
+			continue
+		}
+		futures[i] = sm.FutureSummary(c, i)
+	}
+
+	// Phase 1: look for a local process.
+	for _, pi := range enabled {
+		if isLocal(c, pi, accs[pi], futures) {
+			return []int{pi}
+		}
+	}
+
+	// Phase 2: smallest conflict closure over enabled processes.
+	enabledSet := map[int]bool{}
+	for _, pi := range enabled {
+		enabledSet[pi] = true
+	}
+	best := enabled
+	for _, seed := range enabled {
+		if s, ok := closure(c, seed, accs, futures, enabledSet); ok && len(s) < len(best) {
+			best = s
+		}
+	}
+	return best
+}
+
+// isLocal reports whether the next action of process pi cannot conflict
+// with anything any other live process may still do.
+func isLocal(c *sem.Config, pi int, acc sem.AccessSet, futures []*sem.Summary) bool {
+	for j := range c.Procs {
+		if j == pi || futures[j] == nil {
+			continue
+		}
+		if futures[j].ConflictsWith(acc) {
+			return false
+		}
+	}
+	return true
+}
+
+// closure grows a stubborn set from seed; ok is false when a conflicting
+// process is not enabled and therefore cannot join the set.
+func closure(c *sem.Config, seed int, accs map[int]sem.AccessSet, futures []*sem.Summary, enabledSet map[int]bool) ([]int, bool) {
+	inSet := map[int]bool{seed: true}
+	work := []int{seed}
+	for len(work) > 0 {
+		k := work[0]
+		work = work[1:]
+		for j := range c.Procs {
+			if inSet[j] || futures[j] == nil {
+				continue
+			}
+			if !futures[j].ConflictsWith(accs[k]) {
+				continue
+			}
+			if !enabledSet[j] {
+				return nil, false
+			}
+			inSet[j] = true
+			work = append(work, j)
+		}
+	}
+	out := make([]int, 0, len(inSet))
+	for j := range inSet {
+		out = append(out, j)
+	}
+	// Deterministic order.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k-1] > out[k]; k-- {
+			out[k-1], out[k] = out[k], out[k-1]
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,143 @@
+package explore
+
+import (
+	"testing"
+
+	"psa/internal/lang"
+	"psa/internal/sem"
+)
+
+// forked advances a fresh configuration past its initial cobegin.
+func forked(t *testing.T, src string) (*sem.Config, *sem.Summaries) {
+	t.Helper()
+	prog := lang.MustParse(src)
+	c := sem.NewConfig(prog).Step(0).Config
+	return c, sem.NewSummaries(prog)
+}
+
+func TestStubbornSingletonForLocalAction(t *testing.T) {
+	// Arm 0 writes a variable no other process ever touches: its action
+	// is local and the stubborn set is a singleton.
+	c, sm := forked(t, `
+var private; var shared;
+func main() {
+  cobegin { private = 1; } || { shared = 1; } || { shared = 2; } coend
+}
+`)
+	enabled := c.Enabled()
+	if len(enabled) != 3 {
+		t.Fatalf("want 3 enabled, got %d", len(enabled))
+	}
+	set := stubbornSet(c, enabled, sm)
+	if len(set) != 1 {
+		t.Fatalf("want a singleton stubborn set, got %v", set)
+	}
+	// The singleton must be the private writer (the only local action).
+	if c.Procs[set[0]].Path != "0/0" {
+		t.Errorf("singleton is %s, want the private writer 0/0", c.Procs[set[0]].Path)
+	}
+}
+
+func TestStubbornFullWhenAllConflict(t *testing.T) {
+	// Every arm writes the same shared variable: no locality anywhere and
+	// the closure pulls everything in.
+	c, sm := forked(t, `
+var g;
+func main() {
+  cobegin { g = 1; } || { g = 2; } || { g = 3; } coend
+}
+`)
+	enabled := c.Enabled()
+	set := stubbornSet(c, enabled, sm)
+	if len(set) != len(enabled) {
+		t.Errorf("all-conflicting arms need full expansion, got %v of %v", set, enabled)
+	}
+}
+
+func TestStubbornClosurePartial(t *testing.T) {
+	// Two arms conflict on g, a third is fully private: the closure from
+	// the private seed is a singleton; expansion never needs all three.
+	c, sm := forked(t, `
+var g; var mine;
+func main() {
+  cobegin { g = 1; } || { g = 2; } || { mine = 3; } coend
+}
+`)
+	enabled := c.Enabled()
+	set := stubbornSet(c, enabled, sm)
+	if len(set) >= len(enabled) {
+		t.Errorf("expected a reduced set, got %v of %v", set, enabled)
+	}
+}
+
+func TestStubbornSingleEnabled(t *testing.T) {
+	prog := lang.MustParse(`
+var g;
+func main() { g = 1; g = 2; }
+`)
+	c := sem.NewConfig(prog)
+	sm := sem.NewSummaries(prog)
+	set := stubbornSet(c, c.Enabled(), sm)
+	if len(set) != 1 {
+		t.Errorf("single enabled process: %v", set)
+	}
+}
+
+func TestStubbornRespectsWaitingParentFuture(t *testing.T) {
+	// The parent reads g after the join. An arm's write to g is NOT local
+	// even though no ENABLED process touches g — the waiting parent's
+	// future must be consulted.
+	c, sm := forked(t, `
+var g; var out; var other;
+func main() {
+  cobegin { g = 1; } || { other = 2; } coend
+  out = g;
+}
+`)
+	enabled := c.Enabled()
+	set := stubbornSet(c, enabled, sm)
+	// The g-writer must not be selected as a singleton... actually a
+	// singleton {g-writer} is UNSAFE only if ordering vs the parent's read
+	// matters; the parent runs strictly after the join, so there is no
+	// interleaving to lose — but our conservative future check refuses the
+	// locality claim anyway. What matters for soundness: the result set is
+	// preserved, which the differential corpus checks. Here we only pin
+	// the conservative behavior.
+	for _, pi := range set {
+		if c.Procs[pi].Path == "0/0" && len(set) == 1 {
+			t.Errorf("g-writer selected as singleton despite the parent's future read")
+		}
+	}
+}
+
+func TestAccessConflictHelper(t *testing.T) {
+	g0 := sem.Loc{Space: sem.SpaceGlobal, Base: 0}
+	g1 := sem.Loc{Space: sem.SpaceGlobal, Base: 1}
+	h := sem.Loc{Space: sem.SpaceHeap, Base: 3}
+	phantom := sem.Loc{Space: sem.SpaceHeap, Base: -1}
+
+	if _, _, ok := accessConflict(
+		sem.AccessSet{Writes: []sem.Loc{g0}},
+		sem.AccessSet{Reads: []sem.Loc{g1}},
+	); ok {
+		t.Error("disjoint globals should not conflict")
+	}
+	if loc, ww, ok := accessConflict(
+		sem.AccessSet{Writes: []sem.Loc{g0}},
+		sem.AccessSet{Writes: []sem.Loc{g0}},
+	); !ok || !ww || loc != g0 {
+		t.Error("write/write on g0 missed")
+	}
+	if _, ww, ok := accessConflict(
+		sem.AccessSet{Reads: []sem.Loc{h}},
+		sem.AccessSet{Writes: []sem.Loc{h}},
+	); !ok || ww {
+		t.Error("read/write on heap cell missed or misclassified")
+	}
+	if _, _, ok := accessConflict(
+		sem.AccessSet{Writes: []sem.Loc{phantom}},
+		sem.AccessSet{Writes: []sem.Loc{phantom}},
+	); ok {
+		t.Error("phantom allocations can never conflict")
+	}
+}

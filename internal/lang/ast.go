@@ -1,0 +1,373 @@
+package lang
+
+import "fmt"
+
+// NodeID uniquely identifies an AST node within a Program. IDs are assigned
+// densely by the parser, so they can index slices. Node 0 is reserved.
+type NodeID int
+
+// Program is a parsed compilation unit: global variable declarations and
+// function declarations. Execution starts at the function named "main".
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+
+	// Source is the original text, if the program was parsed (diagnostic only).
+	Source string
+
+	nextID      NodeID
+	globalIndex map[string]int
+	funcIndex   map[string]int
+	nodes       map[NodeID]Node
+	info        *Info
+}
+
+// GlobalDecl declares a global (shared-memory) variable with an optional
+// constant initializer (default 0).
+type GlobalDecl struct {
+	ID    NodeID
+	Pos   Pos
+	Name  string
+	Init  int64
+	Index int // dense index among globals
+}
+
+// FuncDecl declares a procedure. Procedures are first-class: naming a
+// procedure in an expression yields a function value.
+type FuncDecl struct {
+	ID     NodeID
+	Pos    Pos
+	Name   string
+	Params []string
+	Body   *Block
+	Index  int // dense index among functions
+}
+
+// Block is a brace-delimited statement sequence.
+type Block struct {
+	ID    NodeID
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// Node is implemented by every AST node.
+type Node interface {
+	NodeID() NodeID
+	NodePos() Pos
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	// Label returns the statement's label ("" if unlabeled).
+	Label() string
+	stmtNode()
+}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+type stmtBase struct {
+	ID  NodeID
+	Pos Pos
+	Lbl string
+}
+
+func (s *stmtBase) NodeID() NodeID { return s.ID }
+func (s *stmtBase) NodePos() Pos   { return s.Pos }
+func (s *stmtBase) Label() string  { return s.Lbl }
+func (s *stmtBase) stmtNode()      {}
+
+// VarStmt declares and initializes a procedure-local variable.
+type VarStmt struct {
+	stmtBase
+	Name string
+	Init Expr // required
+	Slot int  // frame slot assigned by the resolver
+}
+
+// AssignStmt assigns to an lvalue. Target is either *VarRef (a variable)
+// or *DerefExpr (a store through a pointer).
+type AssignStmt struct {
+	stmtBase
+	Target Expr
+	Value  Expr
+}
+
+// CallStmt invokes a procedure for effect, or to bind its result:
+// "f(a,b);" or as the RHS of AssignStmt via IsCall(Value).
+type CallStmt struct {
+	stmtBase
+	Call *CallExpr
+}
+
+// CobeginStmt runs its arms concurrently and joins at coend.
+type CobeginStmt struct {
+	stmtBase
+	Arms []*Block
+}
+
+// IfStmt is a conditional with optional else branch (nil if absent).
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then *Block
+	Else *Block
+}
+
+// WhileStmt is a pre-test loop.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body *Block
+}
+
+// ReturnStmt returns from the enclosing procedure. Value may be nil.
+type ReturnStmt struct {
+	stmtBase
+	Value Expr
+}
+
+// SkipStmt does nothing (one atomic step).
+type SkipStmt struct {
+	stmtBase
+}
+
+// AssertStmt checks a predicate; a failing assert drives the configuration
+// into an error state, which exploration reports.
+type AssertStmt struct {
+	stmtBase
+	Cond Expr
+}
+
+// FreeStmt releases a heap object (analysis fodder for lifetime work;
+// freeing is modeled as invalidating the object's cells).
+type FreeStmt struct {
+	stmtBase
+	Ptr Expr
+}
+
+type exprBase struct {
+	ID  NodeID
+	Pos Pos
+}
+
+func (e *exprBase) NodeID() NodeID { return e.ID }
+func (e *exprBase) NodePos() Pos   { return e.Pos }
+func (e *exprBase) exprNode()      {}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// VarRef references a variable or a procedure by name. Resolution fills
+// Kind and the corresponding index.
+type VarRef struct {
+	exprBase
+	Name string
+
+	// Resolution results:
+	Kind  RefKind
+	Index int // global index, local slot, param slot, or function index
+}
+
+// RefKind classifies a resolved VarRef.
+type RefKind int
+
+// Reference kinds.
+const (
+	RefUnresolved RefKind = iota
+	RefGlobal
+	RefLocal // params and local vars share the frame slot space
+	RefFunc
+)
+
+func (k RefKind) String() string {
+	switch k {
+	case RefGlobal:
+		return "global"
+	case RefLocal:
+		return "local"
+	case RefFunc:
+		return "func"
+	default:
+		return "unresolved"
+	}
+}
+
+// UnaryExpr applies -, !, or unary * (deref as rvalue is DerefExpr instead).
+type UnaryExpr struct {
+	exprBase
+	Op TokKind // TokMinus, TokNot
+	X  Expr
+}
+
+// DerefExpr is *ptr: a heap or global read (as rvalue) or write target
+// (as AssignStmt.Target).
+type DerefExpr struct {
+	exprBase
+	Ptr Expr
+}
+
+// AddrExpr is &g for a global variable g: a pointer to shared storage.
+type AddrExpr struct {
+	exprBase
+	Name  string
+	Index int // resolved global index
+}
+
+// BinaryExpr applies an arithmetic, comparison, or logical operator.
+// Logical && and || are strict (both sides evaluated); the whole enclosing
+// statement is atomic anyway.
+type BinaryExpr struct {
+	exprBase
+	Op TokKind
+	X  Expr
+	Y  Expr
+}
+
+// CallExpr calls a procedure value with arguments. Callee is commonly a
+// VarRef to a FuncDecl but may be any expression evaluating to a function
+// (first-class procedures).
+type CallExpr struct {
+	exprBase
+	Callee Expr
+	Args   []Expr
+}
+
+// MallocExpr allocates Count fresh heap cells (Count must evaluate to a
+// positive integer) and yields a pointer to the first.
+type MallocExpr struct {
+	exprBase
+	Count Expr
+}
+
+// Global returns the global declaration with the given name, or nil.
+func (p *Program) Global(name string) *GlobalDecl {
+	if i, ok := p.globalIndex[name]; ok {
+		return p.Globals[i]
+	}
+	return nil
+}
+
+// Func returns the function declaration with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	if i, ok := p.funcIndex[name]; ok {
+		return p.Funcs[i]
+	}
+	return nil
+}
+
+// Node returns the node with the given ID, or nil.
+func (p *Program) Node(id NodeID) Node {
+	return p.nodes[id]
+}
+
+// NumNodes returns one past the largest assigned NodeID.
+func (p *Program) NumNodes() int { return int(p.nextID) }
+
+func (p *Program) register(n Node) {
+	if p.nodes == nil {
+		p.nodes = make(map[NodeID]Node)
+	}
+	p.nodes[n.NodeID()] = n
+}
+
+func (p *Program) newID() NodeID {
+	p.nextID++
+	return p.nextID
+}
+
+// StmtByLabel returns the statement carrying the given label, or nil.
+// Labels are unique per program (enforced by the resolver).
+func (p *Program) StmtByLabel(label string) Stmt {
+	for _, n := range p.nodes {
+		if s, ok := n.(Stmt); ok && s.Label() == label {
+			return s
+		}
+	}
+	return nil
+}
+
+// DescribeStmt renders a short human-readable description of a statement,
+// preferring its label.
+func DescribeStmt(s Stmt) string {
+	if s.Label() != "" {
+		return s.Label()
+	}
+	return fmt.Sprintf("stmt@%s", s.NodePos())
+}
+
+// WalkStmts calls fn for every statement in the block, recursively,
+// in source order.
+func WalkStmts(b *Block, fn func(Stmt)) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.Stmts {
+		fn(s)
+		switch s := s.(type) {
+		case *CobeginStmt:
+			for _, arm := range s.Arms {
+				WalkStmts(arm, fn)
+			}
+		case *IfStmt:
+			WalkStmts(s.Then, fn)
+			WalkStmts(s.Else, fn)
+		case *WhileStmt:
+			WalkStmts(s.Body, fn)
+		}
+	}
+}
+
+// WalkExprs calls fn for every expression under s (not recursing into
+// nested statements).
+func WalkExprs(s Stmt, fn func(Expr)) {
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if e == nil {
+			return
+		}
+		fn(e)
+		switch e := e.(type) {
+		case *UnaryExpr:
+			walk(e.X)
+		case *DerefExpr:
+			walk(e.Ptr)
+		case *BinaryExpr:
+			walk(e.X)
+			walk(e.Y)
+		case *CallExpr:
+			walk(e.Callee)
+			for _, a := range e.Args {
+				walk(a)
+			}
+		case *MallocExpr:
+			walk(e.Count)
+		}
+	}
+	switch s := s.(type) {
+	case *VarStmt:
+		walk(s.Init)
+	case *AssignStmt:
+		walk(s.Target)
+		walk(s.Value)
+	case *CallStmt:
+		walk(s.Call)
+	case *IfStmt:
+		walk(s.Cond)
+	case *WhileStmt:
+		walk(s.Cond)
+	case *ReturnStmt:
+		walk(s.Value)
+	case *AssertStmt:
+		walk(s.Cond)
+	case *FreeStmt:
+		walk(s.Ptr)
+	}
+}

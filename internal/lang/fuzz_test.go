@@ -1,0 +1,51 @@
+package lang
+
+import "testing"
+
+// FuzzParse throws arbitrary text at the lexer+parser: they must never
+// panic, only return errors. Run with `go test -fuzz=FuzzParse ./internal/lang`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"var a;",
+		"func main() { skip; }",
+		tinyProgram,
+		roundTripProgram,
+		"func main() { cobegin { skip; } || { skip; } coend }",
+		"var x func main(){x=*&x;}",
+		"func main() { var p = malloc(1); *p = *p + 1; free(p); }",
+		"/* unterminated",
+		"func main() { a: b: skip; }",
+		"func main() { while 1 { cobegin { skip; } || { return; } coend } }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Anything that parses must format and reparse.
+		text := Format(prog)
+		if _, err := Parse(text); err != nil {
+			t.Fatalf("round trip failed: %v\noriginal: %q\nformatted: %q", err, src, text)
+		}
+	})
+}
+
+// FuzzLexer checks the lexer alone on raw bytes.
+func FuzzLexer(f *testing.F) {
+	f.Add("a || b && !c")
+	f.Add("12345678901234567890123")
+	f.Add("/*x*/ // y\n&&&")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatal("token stream must end with EOF")
+		}
+	})
+}

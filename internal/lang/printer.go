@@ -1,0 +1,188 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the program back to concrete syntax. The output reparses
+// to an equivalent program (round-trip property, tested).
+func Format(p *Program) string {
+	var pr printer
+	for _, g := range p.Globals {
+		if g.Init != 0 {
+			pr.printf("var %s = %d;\n", g.Name, g.Init)
+		} else {
+			pr.printf("var %s;\n", g.Name)
+		}
+	}
+	if len(p.Globals) > 0 {
+		pr.printf("\n")
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			pr.printf("\n")
+		}
+		pr.printf("func %s(%s) ", f.Name, strings.Join(f.Params, ", "))
+		pr.block(f.Body)
+		pr.printf("\n")
+	}
+	return pr.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (pr *printer) printf(format string, args ...any) {
+	fmt.Fprintf(&pr.b, format, args...)
+}
+
+func (pr *printer) line(format string, args ...any) {
+	pr.b.WriteString(strings.Repeat("  ", pr.indent))
+	pr.printf(format, args...)
+	pr.b.WriteByte('\n')
+}
+
+func (pr *printer) block(b *Block) {
+	pr.printf("{\n")
+	pr.indent++
+	for _, s := range b.Stmts {
+		pr.stmt(s)
+	}
+	pr.indent--
+	pr.b.WriteString(strings.Repeat("  ", pr.indent))
+	pr.printf("}")
+}
+
+func (pr *printer) stmt(s Stmt) {
+	prefix := ""
+	if s.Label() != "" {
+		prefix = s.Label() + ": "
+	}
+	switch s := s.(type) {
+	case *VarStmt:
+		pr.line("%svar %s = %s;", prefix, s.Name, ExprString(s.Init))
+	case *AssignStmt:
+		pr.line("%s%s = %s;", prefix, ExprString(s.Target), ExprString(s.Value))
+	case *CallStmt:
+		pr.line("%s%s;", prefix, ExprString(s.Call))
+	case *CobeginStmt:
+		pr.b.WriteString(strings.Repeat("  ", pr.indent))
+		pr.printf("%scobegin ", prefix)
+		for i, arm := range s.Arms {
+			if i > 0 {
+				pr.printf(" || ")
+			}
+			pr.block(arm)
+		}
+		pr.printf(" coend\n")
+	case *IfStmt:
+		pr.b.WriteString(strings.Repeat("  ", pr.indent))
+		pr.printf("%sif %s ", prefix, ExprString(s.Cond))
+		pr.block(s.Then)
+		if s.Else != nil {
+			pr.printf(" else ")
+			pr.block(s.Else)
+		}
+		pr.printf("\n")
+	case *WhileStmt:
+		pr.b.WriteString(strings.Repeat("  ", pr.indent))
+		pr.printf("%swhile %s ", prefix, ExprString(s.Cond))
+		pr.block(s.Body)
+		pr.printf("\n")
+	case *ReturnStmt:
+		if s.Value != nil {
+			pr.line("%sreturn %s;", prefix, ExprString(s.Value))
+		} else {
+			pr.line("%sreturn;", prefix)
+		}
+	case *SkipStmt:
+		pr.line("%sskip;", prefix)
+	case *AssertStmt:
+		pr.line("%sassert %s;", prefix, ExprString(s.Cond))
+	case *FreeStmt:
+		pr.line("%sfree(%s);", prefix, ExprString(s.Ptr))
+	default:
+		pr.line("%s/* unknown stmt %T */", prefix, s)
+	}
+}
+
+// ExprString renders an expression to concrete syntax (fully parenthesized
+// where needed for correctness, minimally otherwise).
+func ExprString(e Expr) string {
+	return exprString(e, 0)
+}
+
+// StmtText renders a single statement (with its label and any nested
+// blocks) to concrete syntax at the given indent level; the result
+// reparses inside a block. Program restructuring (package apps) uses it
+// to rebuild transformed sources.
+func StmtText(s Stmt, indent int) string {
+	pr := printer{indent: indent}
+	pr.stmt(s)
+	out := pr.b.String()
+	return strings.TrimRight(out, "\n")
+}
+
+// Precedence levels, loosest to tightest.
+const (
+	precOr = iota + 1
+	precAnd
+	precCmp
+	precAdd
+	precMul
+	precUnary
+)
+
+func opPrec(op TokKind) int {
+	switch op {
+	case TokParallel:
+		return precOr
+	case TokAnd:
+		return precAnd
+	case TokEq, TokNe, TokLt, TokLe, TokGt, TokGe:
+		return precCmp
+	case TokPlus, TokMinus:
+		return precAdd
+	case TokStar, TokSlash, TokPercent:
+		return precMul
+	}
+	return precUnary
+}
+
+func exprString(e Expr, outer int) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *VarRef:
+		return e.Name
+	case *UnaryExpr:
+		op := "-"
+		if e.Op == TokNot {
+			op = "!"
+		}
+		return op + exprString(e.X, precUnary)
+	case *DerefExpr:
+		return "*" + exprString(e.Ptr, precUnary)
+	case *AddrExpr:
+		return "&" + e.Name
+	case *BinaryExpr:
+		p := opPrec(e.Op)
+		s := exprString(e.X, p) + " " + e.Op.String() + " " + exprString(e.Y, p+1)
+		if p < outer {
+			return "(" + s + ")"
+		}
+		return s
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = exprString(a, 0)
+		}
+		return exprString(e.Callee, precUnary) + "(" + strings.Join(args, ", ") + ")"
+	case *MallocExpr:
+		return "malloc(" + exprString(e.Count, 0) + ")"
+	}
+	return fmt.Sprintf("/*?%T*/", e)
+}

@@ -1,0 +1,114 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const roundTripProgram = `
+var A;
+var B = 3;
+var C = -1;
+
+func worker(id, p) {
+  var t = *p + id;
+  s1: *p = t;
+  if t > 10 { t = t - 1; } else { t = t + 1; }
+  while t > 0 { t = t / 2; }
+  return t;
+}
+
+func main() {
+  var buf = malloc(4);
+  *buf = 0;
+  cobegin {
+    var r1 = worker(1, buf);
+    A = r1;
+  } || {
+    var r2 = worker(2, buf);
+    B = r2;
+  } coend
+  C = A + B * 2;
+  assert !(C < 0) || C == 0;
+  free(buf);
+  var pa = &A;
+  *pa = *pa % 7;
+  skip;
+}
+`
+
+func TestFormatRoundTrip(t *testing.T) {
+	p1 := MustParse(roundTripProgram)
+	text1 := Format(p1)
+	p2, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("formatted program does not reparse: %v\n%s", err, text1)
+	}
+	text2 := Format(p2)
+	if text1 != text2 {
+		t.Errorf("format not idempotent:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}
+
+func TestFormatPreservesLabels(t *testing.T) {
+	p := MustParse(roundTripProgram)
+	out := Format(p)
+	if !strings.Contains(out, "s1: *p = t;") {
+		t.Errorf("label lost in output:\n%s", out)
+	}
+}
+
+func TestExprStringParenthesization(t *testing.T) {
+	p := MustParse(`
+var a; var b;
+func main() {
+  a = (1 + 2) * 3;
+  b = 1 + 2 * 3;
+}
+`)
+	s0 := p.Func("main").Body.Stmts[0].(*AssignStmt)
+	if got := ExprString(s0.Value); got != "(1 + 2) * 3" {
+		t.Errorf("got %q, want %q", got, "(1 + 2) * 3")
+	}
+	s1 := p.Func("main").Body.Stmts[1].(*AssignStmt)
+	if got := ExprString(s1.Value); got != "1 + 2 * 3" {
+		t.Errorf("got %q, want %q", got, "1 + 2 * 3")
+	}
+}
+
+func TestExprStringSubtractionAssociativity(t *testing.T) {
+	// 10 - (3 - 2) must keep its parentheses; (10 - 3) - 2 must not gain any.
+	p := MustParse(`
+var a; var b;
+func main() {
+  a = 10 - (3 - 2);
+  b = 10 - 3 - 2;
+}
+`)
+	s0 := p.Func("main").Body.Stmts[0].(*AssignStmt)
+	if got := ExprString(s0.Value); got != "10 - (3 - 2)" {
+		t.Errorf("got %q, want %q", got, "10 - (3 - 2)")
+	}
+	s1 := p.Func("main").Body.Stmts[1].(*AssignStmt)
+	if got := ExprString(s1.Value); got != "10 - 3 - 2" {
+		t.Errorf("got %q, want %q", got, "10 - 3 - 2")
+	}
+}
+
+func TestWalkStmtsVisitsEverything(t *testing.T) {
+	p := MustParse(roundTripProgram)
+	count := 0
+	labels := map[string]bool{}
+	WalkStmts(p.Func("worker").Body, func(s Stmt) {
+		count++
+		if s.Label() != "" {
+			labels[s.Label()] = true
+		}
+	})
+	if count < 5 {
+		t.Errorf("visited %d statements, want >= 5", count)
+	}
+	if !labels["s1"] {
+		t.Error("labeled statement s1 not visited")
+	}
+}

@@ -1,0 +1,162 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResolveKinds(t *testing.T) {
+	p := MustParse(`
+var g = 1;
+func helper(a) { return a + g; }
+func main() {
+  var l = 2;
+  g = l;
+  l = helper(g);
+}
+`)
+	main := p.Func("main")
+	asg := main.Body.Stmts[1].(*AssignStmt)
+	if v := asg.Target.(*VarRef); v.Kind != RefGlobal {
+		t.Errorf("g resolves to %v, want global", v.Kind)
+	}
+	if v := asg.Value.(*VarRef); v.Kind != RefLocal {
+		t.Errorf("l resolves to %v, want local", v.Kind)
+	}
+	call := main.Body.Stmts[2].(*AssignStmt).Value.(*CallExpr)
+	if v := call.Callee.(*VarRef); v.Kind != RefFunc {
+		t.Errorf("helper resolves to %v, want func", v.Kind)
+	}
+}
+
+func TestResolveFrameSize(t *testing.T) {
+	p := MustParse(`
+func f(a, b) {
+  var c = 1;
+  if a > 0 { var d = 2; c = d; }
+  while b > 0 { var e = 3; b = b - e; }
+  return c;
+}
+func main() { f(1, 2); }
+`)
+	info := p.ResolvedInfo().Funcs[p.Func("f")]
+	// a, b, c, d, e = 5 slots.
+	if info.FrameSize != 5 {
+		t.Errorf("frame size = %d, want 5", info.FrameSize)
+	}
+}
+
+func TestResolveShadowing(t *testing.T) {
+	p := MustParse(`
+var x = 10;
+func main() {
+  var x = 1;
+  if x > 0 {
+    var x = 2;
+    x = 3;
+  }
+  x = 4;
+}
+`)
+	main := p.Func("main")
+	inner := main.Body.Stmts[1].(*IfStmt).Then.Stmts[1].(*AssignStmt)
+	outer := main.Body.Stmts[2].(*AssignStmt)
+	iv := inner.Target.(*VarRef)
+	ov := outer.Target.(*VarRef)
+	if iv.Kind != RefLocal || ov.Kind != RefLocal {
+		t.Fatal("both should be locals")
+	}
+	if iv.Index == ov.Index {
+		t.Errorf("inner and outer x share slot %d; shadowing broken", iv.Index)
+	}
+}
+
+func TestResolveArmLocals(t *testing.T) {
+	// Same name in two arms is fine and gets distinct slots.
+	p := MustParse(`
+var g;
+func main() {
+  cobegin { var t = 1; g = t; } || { var t = 2; g = t; } coend
+}
+`)
+	cb := p.Func("main").Body.Stmts[0].(*CobeginStmt)
+	t1 := cb.Arms[0].Stmts[0].(*VarStmt)
+	t2 := cb.Arms[1].Stmts[0].(*VarStmt)
+	if t1.Slot == t2.Slot {
+		t.Errorf("arm locals share slot %d", t1.Slot)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undefined", "func main() { nope = 1; }", "undefined name"},
+		{"dup global", "var a; var a;\nfunc main() { skip; }", "duplicate global"},
+		{"dup func", "func f() { return 0; }\nfunc f() { return 1; }\nfunc main() { skip; }", "duplicate function"},
+		{"func global clash", "var f;\nfunc f() { return 0; }\nfunc main() { skip; }", "collides"},
+		{"redeclare in block", "func main() { var a = 1; var a = 2; }", "redeclared"},
+		{"addr of local", "func main() { var a = 1; var p = &a; }", "address of local"},
+		{"addr of missing", "func main() { var p = &zz; }", "undefined global"},
+		{"assign to func", "func f() { return 0; }\nfunc main() { f = 1; }", "cannot assign to function"},
+		{"nested call", "func f() { return 0; }\nfunc main() { var a = 1 + f(); }", "entire right-hand side"},
+		{"call in cond", "func f() { return 0; }\nfunc main() { if f() > 0 { skip; } }", "entire right-hand side"},
+		{"arity", "func f(a) { return a; }\nfunc main() { f(1, 2); }", "2 arguments, want 1"},
+		{"dup label", "var a;\nfunc main() { s: a = 1; s: a = 2; }", "already used"},
+		{"return in arm", "var a;\nfunc main() { cobegin { return; } || { a = 1; } coend }", "not allowed inside a cobegin arm"},
+		{"write outer local in arm", "var g;\nfunc main() { var t = 0; cobegin { t = 1; } || { g = 2; } coend }", "cannot assign"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestArmMayReadOuterLocalAndWriteOwn(t *testing.T) {
+	_, err := Parse(`
+var g;
+func main() {
+  var t = 5;
+  cobegin { var u = t; g = u; } || { var v = t; g = v; } coend
+}
+`)
+	if err != nil {
+		t.Fatalf("reading outer local in arm should be legal: %v", err)
+	}
+}
+
+func TestNestedArmWriteToOuterArmLocalRejected(t *testing.T) {
+	_, err := Parse(`
+var g;
+func main() {
+  cobegin {
+    var t = 0;
+    cobegin { t = 1; } || { g = 1; } coend
+  } || { g = 2; } coend
+}
+`)
+	if err == nil || !strings.Contains(err.Error(), "cannot assign") {
+		t.Fatalf("nested arm write to outer arm local should be rejected, got %v", err)
+	}
+}
+
+func TestSequentialAfterCobeginCanWriteLocal(t *testing.T) {
+	_, err := Parse(`
+var g;
+func main() {
+  var t = 0;
+  cobegin { g = 1; } || { g = 2; } coend
+  t = g;
+}
+`)
+	if err != nil {
+		t.Fatalf("writing local after cobegin should be legal: %v", err)
+	}
+}

@@ -1,0 +1,331 @@
+package lang
+
+import "sort"
+
+// Sharing summarizes which storage may be accessed by more than one thread.
+// It is a conservative static approximation used to identify critical
+// references (Definition 4 in the paper, after [Pnu86]): a read of a
+// variable another thread may write, or a write to a variable another
+// thread may read or write. Virtual coarsening (Observation 5) fuses
+// consecutive atomic actions containing at most one critical reference,
+// and the stubborn-set algorithm uses read/write sets over possibly-shared
+// storage.
+type Sharing struct {
+	// GlobalShared[i] reports whether global i may be accessed by two
+	// different threads with at least one write.
+	GlobalShared []bool
+	// GlobalWritten[i] reports whether global i may be written at all by
+	// any thread context distinct from some accessor.
+	GlobalWritten []bool
+	// HeapShared reports whether any heap cell may be accessed by two
+	// different threads with at least one write. Heap cells are not
+	// distinguished statically here; the dynamic semantics refines this.
+	HeapShared bool
+	// HasCobegin reports whether the program can ever run more than one
+	// thread.
+	HasCobegin bool
+}
+
+// armCtx identifies a static thread context: the path of cobegin arms
+// (by statement NodeID and arm index) under which code executes. Code in
+// different arms of the same cobegin runs concurrently; code in the same
+// context does not (with respect to that cobegin).
+type armCtx string
+
+type accessKind int
+
+const (
+	accRead accessKind = iota
+	accWrite
+)
+
+type globalAccess struct {
+	ctx   armCtx
+	kind  accessKind
+	fnSet string // function whose body syntactically contains the access
+}
+
+// sharingPass walks the program once per reachable (function, context)
+// pair, following the call graph, and collects global/heap accesses
+// annotated with their thread context.
+type sharingPass struct {
+	prog      *Program
+	accesses  map[int][]globalAccess // global index -> accesses
+	heapAcc   []globalAccess
+	visited   map[string]bool // fn.Name + "@" + ctx
+	indirect  bool            // program contains calls through expressions
+	funcRefs  []*FuncDecl     // functions whose names are used as values
+	cobegin   bool
+	addrTaken []int // cached address-taken global indices (non-nil once computed)
+}
+
+// AnalyzeSharing computes the Sharing summary for a resolved program.
+func AnalyzeSharing(p *Program) *Sharing {
+	sp := &sharingPass{
+		prog:     p,
+		accesses: make(map[int][]globalAccess),
+		visited:  make(map[string]bool),
+	}
+	// Pre-scan for functions used as values (possible indirect callees) and
+	// for indirect call sites.
+	for _, f := range p.Funcs {
+		WalkStmts(f.Body, func(s Stmt) {
+			WalkExprs(s, func(e Expr) {
+				switch e := e.(type) {
+				case *CallExpr:
+					if v, ok := e.Callee.(*VarRef); !ok || v.Kind != RefFunc {
+						sp.indirect = true
+					}
+				case *VarRef:
+					if e.Kind == RefFunc {
+						sp.funcRefs = appendUniqueFunc(sp.funcRefs, p.Funcs[e.Index])
+					}
+				}
+			})
+		})
+	}
+	main := p.Func("main")
+	if main != nil {
+		sp.walkFunc(main, "")
+	}
+
+	sh := &Sharing{
+		GlobalShared:  make([]bool, len(p.Globals)),
+		GlobalWritten: make([]bool, len(p.Globals)),
+		HasCobegin:    sp.cobegin,
+	}
+	for gi, accs := range sp.accesses {
+		sh.GlobalShared[gi] = crossThreadConflict(accs)
+		for _, a := range accs {
+			if a.kind == accWrite {
+				sh.GlobalWritten[gi] = true
+			}
+		}
+	}
+	sh.HeapShared = crossThreadConflict(sp.heapAcc)
+	return sh
+}
+
+func appendUniqueFunc(fs []*FuncDecl, f *FuncDecl) []*FuncDecl {
+	for _, g := range fs {
+		if g == f {
+			return fs
+		}
+	}
+	return append(fs, f)
+}
+
+// crossThreadConflict reports whether two accesses from concurrent contexts
+// exist with at least one write. Contexts c1, c2 are concurrent iff neither
+// is a prefix of the other (they diverge at some cobegin into different
+// arms) or they are equal but the context itself can be multiply
+// instantiated — conservatively we also flag equal non-empty contexts that
+// sit under a loop; to stay simple and safe we treat "neither prefix of the
+// other" as concurrent and additionally any two accesses from the same
+// context when that context was reached through an unknown (indirect) call
+// chain. The dynamic semantics is the ground truth; this pass only feeds
+// coarsening and stubborn sets, where over-approximation of sharing is the
+// safe direction.
+func crossThreadConflict(accs []globalAccess) bool {
+	for i := 0; i < len(accs); i++ {
+		for j := i + 1; j < len(accs); j++ {
+			a, b := accs[i], accs[j]
+			if a.kind == accRead && b.kind == accRead {
+				continue
+			}
+			if concurrentCtx(a.ctx, b.ctx) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func concurrentCtx(a, b armCtx) bool {
+	if a == b {
+		return false
+	}
+	as, bs := string(a), string(b)
+	if len(as) > len(bs) {
+		as, bs = bs, as
+	}
+	// Prefix (same thread lineage, sequential) => not concurrent.
+	if len(as) <= len(bs) && bs[:len(as)] == as {
+		return false
+	}
+	return true
+}
+
+func (sp *sharingPass) walkFunc(f *FuncDecl, ctx armCtx) {
+	key := f.Name + "@" + string(ctx)
+	if sp.visited[key] {
+		return
+	}
+	sp.visited[key] = true
+	sp.walkBlock(f.Body, ctx, f.Name)
+}
+
+func (sp *sharingPass) walkBlock(b *Block, ctx armCtx, fn string) {
+	for _, s := range b.Stmts {
+		sp.walkStmt(s, ctx, fn)
+	}
+}
+
+func (sp *sharingPass) record(gi int, ctx armCtx, kind accessKind, fn string) {
+	sp.accesses[gi] = append(sp.accesses[gi], globalAccess{ctx: ctx, kind: kind, fnSet: fn})
+}
+
+func (sp *sharingPass) recordHeap(ctx armCtx, kind accessKind, fn string) {
+	sp.heapAcc = append(sp.heapAcc, globalAccess{ctx: ctx, kind: kind, fnSet: fn})
+}
+
+func (sp *sharingPass) walkStmt(s Stmt, ctx armCtx, fn string) {
+	switch s := s.(type) {
+	case *VarStmt:
+		sp.walkExpr(s.Init, ctx, accRead, fn)
+	case *AssignStmt:
+		switch t := s.Target.(type) {
+		case *VarRef:
+			if t.Kind == RefGlobal {
+				sp.record(t.Index, ctx, accWrite, fn)
+			}
+		case *DerefExpr:
+			sp.walkExpr(t.Ptr, ctx, accRead, fn)
+			sp.walkDerefTarget(t.Ptr, ctx, fn)
+		}
+		sp.walkExpr(s.Value, ctx, accRead, fn)
+	case *CallStmt:
+		sp.walkCall(s.Call, ctx, fn)
+	case *CobeginStmt:
+		sp.cobegin = true
+		for i, arm := range s.Arms {
+			armID := armCtx(string(ctx) + "/" + itoa(int(s.NodeID())) + "." + itoa(i))
+			sp.walkBlock(arm, armID, fn)
+		}
+	case *IfStmt:
+		sp.walkExpr(s.Cond, ctx, accRead, fn)
+		sp.walkBlock(s.Then, ctx, fn)
+		if s.Else != nil {
+			sp.walkBlock(s.Else, ctx, fn)
+		}
+	case *WhileStmt:
+		sp.walkExpr(s.Cond, ctx, accRead, fn)
+		sp.walkBlock(s.Body, ctx, fn)
+	case *ReturnStmt:
+		if s.Value != nil {
+			sp.walkExpr(s.Value, ctx, accRead, fn)
+		}
+	case *AssertStmt:
+		sp.walkExpr(s.Cond, ctx, accRead, fn)
+	case *FreeStmt:
+		sp.walkExpr(s.Ptr, ctx, accRead, fn)
+		sp.recordHeap(ctx, accWrite, fn)
+	}
+}
+
+// walkDerefTarget records the write performed by "*p = ...": a heap write,
+// or a global write if p is (or may be) &g. We do not track points-to here;
+// any deref-write marks the heap and every address-taken global.
+func (sp *sharingPass) walkDerefTarget(ptr Expr, ctx armCtx, fn string) {
+	if a, ok := ptr.(*AddrExpr); ok {
+		sp.record(a.Index, ctx, accWrite, fn)
+		return
+	}
+	sp.recordHeap(ctx, accWrite, fn)
+	for _, gi := range sp.addressTakenGlobals() {
+		sp.record(gi, ctx, accWrite, fn)
+	}
+}
+
+func (sp *sharingPass) addressTakenGlobals() []int {
+	if sp.addrTaken != nil {
+		return sp.addrTaken
+	}
+	set := map[int]bool{}
+	for _, f := range sp.prog.Funcs {
+		WalkStmts(f.Body, func(s Stmt) {
+			WalkExprs(s, func(e Expr) {
+				if a, ok := e.(*AddrExpr); ok {
+					set[a.Index] = true
+				}
+			})
+		})
+	}
+	out := make([]int, 0, len(set))
+	for gi := range set {
+		out = append(out, gi)
+	}
+	sort.Ints(out)
+	if out == nil {
+		out = []int{}
+	}
+	sp.addrTaken = out
+	return out
+}
+
+func (sp *sharingPass) walkExpr(e Expr, ctx armCtx, kind accessKind, fn string) {
+	switch e := e.(type) {
+	case *VarRef:
+		if e.Kind == RefGlobal {
+			sp.record(e.Index, ctx, kind, fn)
+		}
+	case *UnaryExpr:
+		sp.walkExpr(e.X, ctx, accRead, fn)
+	case *DerefExpr:
+		sp.walkExpr(e.Ptr, ctx, accRead, fn)
+		if a, ok := e.Ptr.(*AddrExpr); ok {
+			sp.record(a.Index, ctx, accRead, fn)
+		} else {
+			sp.recordHeap(ctx, accRead, fn)
+			for _, gi := range sp.addressTakenGlobals() {
+				sp.record(gi, ctx, accRead, fn)
+			}
+		}
+	case *AddrExpr:
+		// Taking an address is not itself an access.
+	case *BinaryExpr:
+		sp.walkExpr(e.X, ctx, accRead, fn)
+		sp.walkExpr(e.Y, ctx, accRead, fn)
+	case *CallExpr:
+		sp.walkCall(e, ctx, fn)
+	case *MallocExpr:
+		sp.walkExpr(e.Count, ctx, accRead, fn)
+	}
+}
+
+func (sp *sharingPass) walkCall(c *CallExpr, ctx armCtx, fn string) {
+	for _, a := range c.Args {
+		sp.walkExpr(a, ctx, accRead, fn)
+	}
+	if v, ok := c.Callee.(*VarRef); ok && v.Kind == RefFunc {
+		sp.walkFunc(sp.prog.Funcs[v.Index], ctx)
+		return
+	}
+	sp.walkExpr(c.Callee, ctx, accRead, fn)
+	// Indirect call: any function whose name escapes as a value may run.
+	for _, f := range sp.funcRefs {
+		sp.walkFunc(f, ctx)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

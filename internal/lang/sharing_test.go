@@ -1,0 +1,206 @@
+package lang
+
+import "testing"
+
+func TestSharingBasicConflict(t *testing.T) {
+	p := MustParse(`
+var shared;
+var private;
+func main() {
+  private = 1;
+  cobegin { shared = 1; } || { shared = 2; } coend
+}
+`)
+	sh := AnalyzeSharing(p)
+	if !sh.HasCobegin {
+		t.Error("HasCobegin = false")
+	}
+	if !sh.GlobalShared[p.Global("shared").Index] {
+		t.Error("shared should be flagged shared")
+	}
+	if sh.GlobalShared[p.Global("private").Index] {
+		t.Error("private should not be flagged shared")
+	}
+}
+
+func TestSharingReadOnlyNotShared(t *testing.T) {
+	// Two arms only READ the global: no conflict, so not critical.
+	p := MustParse(`
+var ro = 5;
+var a; var b;
+func main() {
+  cobegin { a = ro; } || { b = ro; } coend
+}
+`)
+	sh := AnalyzeSharing(p)
+	if sh.GlobalShared[p.Global("ro").Index] {
+		t.Error("read-only global flagged shared")
+	}
+	// a and b are each touched by one arm only.
+	if sh.GlobalShared[p.Global("a").Index] || sh.GlobalShared[p.Global("b").Index] {
+		t.Error("single-arm globals flagged shared")
+	}
+}
+
+func TestSharingWriteReadAcrossArms(t *testing.T) {
+	p := MustParse(`
+var flag;
+var out;
+func main() {
+  cobegin { flag = 1; } || { out = flag; } coend
+}
+`)
+	sh := AnalyzeSharing(p)
+	if !sh.GlobalShared[p.Global("flag").Index] {
+		t.Error("flag written by one arm, read by another: should be shared")
+	}
+	if sh.GlobalShared[p.Global("out").Index] {
+		t.Error("out only accessed by one arm")
+	}
+}
+
+func TestSharingSequentialNotShared(t *testing.T) {
+	p := MustParse(`
+var g;
+func main() {
+  g = 1;
+  cobegin { skip; } || { skip; } coend
+  g = 2;
+}
+`)
+	sh := AnalyzeSharing(p)
+	if sh.GlobalShared[p.Global("g").Index] {
+		t.Error("sequential accesses flagged shared")
+	}
+}
+
+func TestSharingInterprocedural(t *testing.T) {
+	p := MustParse(`
+var g;
+func bump() { g = g + 1; return 0; }
+func main() {
+  cobegin { bump(); } || { bump(); } coend
+}
+`)
+	sh := AnalyzeSharing(p)
+	if !sh.GlobalShared[p.Global("g").Index] {
+		t.Error("global written via calls from two arms should be shared")
+	}
+}
+
+func TestSharingHeap(t *testing.T) {
+	p := MustParse(`
+var p1;
+func main() {
+  var b = malloc(1);
+  cobegin { *b = 1; } || { p1 = *b; } coend
+}
+`)
+	sh := AnalyzeSharing(p)
+	if !sh.HeapShared {
+		t.Error("heap written and read across arms should be shared")
+	}
+}
+
+func TestSharingHeapLocalOnly(t *testing.T) {
+	p := MustParse(`
+var out;
+func main() {
+  var b = malloc(1);
+  *b = 1;
+  out = *b;
+}
+`)
+	sh := AnalyzeSharing(p)
+	if sh.HeapShared {
+		t.Error("single-thread heap use flagged shared")
+	}
+	if sh.HasCobegin {
+		t.Error("no cobegin in program")
+	}
+}
+
+func TestSharingAddressTakenGlobalViaPointer(t *testing.T) {
+	// One arm writes through an unknown pointer, which may point at any
+	// address-taken global; the other arm reads that global directly.
+	p := MustParse(`
+var g;
+var out;
+func main() {
+  var p = &g;
+  cobegin { *p = 1; } || { out = g; } coend
+}
+`)
+	sh := AnalyzeSharing(p)
+	if !sh.GlobalShared[p.Global("g").Index] {
+		t.Error("address-taken global written via pointer in arm should be shared")
+	}
+}
+
+func TestSharingNestedCobegin(t *testing.T) {
+	p := MustParse(`
+var g;
+func main() {
+  cobegin {
+    cobegin { g = 1; } || { g = 2; } coend
+  } || { skip; } coend
+}
+`)
+	sh := AnalyzeSharing(p)
+	if !sh.GlobalShared[p.Global("g").Index] {
+		t.Error("nested-arm writes should conflict")
+	}
+}
+
+func TestSharingSiblingArmPrefixNotConfused(t *testing.T) {
+	// Accesses in an arm and in code sequentially after the cobegin (same
+	// thread lineage) are not concurrent.
+	p := MustParse(`
+var g;
+func main() {
+  cobegin { g = 1; } || { skip; } coend
+}
+`)
+	sh := AnalyzeSharing(p)
+	if sh.GlobalShared[p.Global("g").Index] {
+		t.Error("write from a single arm with no other accessor flagged shared")
+	}
+}
+
+func TestSharingIndirectCalls(t *testing.T) {
+	// f escapes as a value and is called indirectly from both arms.
+	p := MustParse(`
+var g;
+func f() { g = g + 1; return 0; }
+func call(fp) { fp(); return 0; }
+func main() {
+  cobegin { call(f); } || { call(f); } coend
+}
+`)
+	sh := AnalyzeSharing(p)
+	if !sh.GlobalShared[p.Global("g").Index] {
+		t.Error("indirect calls from two arms should mark g shared")
+	}
+}
+
+func TestConcurrentCtx(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"", "", false},
+		{"", "/1.0", false},         // parent vs child: parent blocked, sequential
+		{"/1.0", "/1.1", true},      // sibling arms
+		{"/1.0/2.0", "/1.1", true},  // nested arm vs sibling
+		{"/1.0", "/1.0/2.1", false}, // lineage
+		{"/1.0/2.0", "/1.0/2.1", true},
+	}
+	for _, c := range cases {
+		if got := concurrentCtx(armCtx(c.a), armCtx(c.b)); got != c.want {
+			t.Errorf("concurrentCtx(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := concurrentCtx(armCtx(c.b), armCtx(c.a)); got != c.want {
+			t.Errorf("concurrentCtx(%q, %q) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package lattice
+
+import "testing"
+
+func TestLfpConstantFunction(t *testing.T) {
+	l := Sign{}
+	x, ok := Lfp[SignElem](l, func(SignElem) SignElem { return SignPos }, 0, 100)
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	if x != SignPos {
+		t.Errorf("lfp = %s, want {+}", l.Format(x))
+	}
+}
+
+func TestLfpAccumulates(t *testing.T) {
+	// f(S) = S ∪ {0} ∪ {s+1 | s ∈ S, s < 5} over powerset of ints.
+	l := Powerset[int]{}
+	f := func(s PSElem[int]) PSElem[int] {
+		out := s.S.Add(0)
+		s.S.ForEach(func(e int) {
+			if e < 5 {
+				out = out.Add(e + 1)
+			}
+		})
+		return PSElem[int]{S: out}
+	}
+	x, ok := Lfp[PSElem[int]](l, f, 0, 100)
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	for i := 0; i <= 5; i++ {
+		if !x.S.Has(i) {
+			t.Errorf("lfp missing %d", i)
+		}
+	}
+	if x.S.Len() != 6 {
+		t.Errorf("lfp has %d elements, want 6", x.S.Len())
+	}
+}
+
+func TestLfpNeedsWidening(t *testing.T) {
+	// f([l,h]) = [0, h+1]: diverges without widening, converges with it.
+	l := Interval{}
+	f := func(v Ival) Ival {
+		if v.Empty {
+			return IvalOf(0)
+		}
+		return IvalRange(0, satAdd(v.Hi, 1))
+	}
+	x, ok := Lfp[Ival](l, f, 3, 1000)
+	if !ok {
+		t.Fatal("did not converge even with widening")
+	}
+	if x.Hi != PosInf {
+		t.Errorf("lfp = %s, want [0,+∞]", l.Format(x))
+	}
+	if x.Lo != 0 {
+		t.Errorf("lfp lower bound = %d, want 0", x.Lo)
+	}
+}
+
+func TestLfpRespectsMaxIter(t *testing.T) {
+	// Non-convergent without widening: flat lattice cycling via fresh tops
+	// is impossible (flat converges fast), so use a function with a long
+	// ascending chain and a tiny iteration budget.
+	l := Powerset[int]{}
+	f := func(s PSElem[int]) PSElem[int] {
+		out := s.S.Add(s.S.Len())
+		return PSElem[int]{S: out}
+	}
+	_, ok := Lfp[PSElem[int]](l, f, 0, 5)
+	if ok {
+		t.Error("expected failure to converge within 5 iterations")
+	}
+}
+
+func TestJoinAllMeetAll(t *testing.T) {
+	l := Sign{}
+	if got := JoinAll[SignElem](l, SignNeg, SignZero); got != SignNonPos {
+		t.Errorf("JoinAll = %s, want {-,0}", l.Format(got))
+	}
+	if got := JoinAll[SignElem](l); got != SignBotE {
+		t.Errorf("empty JoinAll = %s, want ⊥", l.Format(got))
+	}
+	if got := MeetAll[SignElem](l, SignNonNeg, SignNonPos); got != SignZero {
+		t.Errorf("MeetAll = %s, want {0}", l.Format(got))
+	}
+	if got := MeetAll[SignElem](l); got != SignTopE {
+		t.Errorf("empty MeetAll = %s, want ⊤", l.Format(got))
+	}
+}
+
+func TestSignOf(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want SignElem
+	}{{-5, SignNeg}, {0, SignZero}, {7, SignPos}}
+	for _, c := range cases {
+		if got := SignOf(c.n); got != c.want {
+			t.Errorf("SignOf(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestIntervalWideningStabilizes(t *testing.T) {
+	l := Interval{}
+	x := IvalOf(0)
+	for i := 0; i < 100; i++ {
+		y := IvalRange(x.Lo, x.Hi+1)
+		nx := l.Widen(x, y)
+		if l.Eq(nx, x) {
+			return // stabilized
+		}
+		x = nx
+	}
+	if x.Hi != PosInf {
+		t.Errorf("widening chain did not stabilize: %s", l.Format(x))
+	}
+}
+
+func TestFlatFormat(t *testing.T) {
+	l := Flat[int64]{}
+	if got := l.Format(l.Bot()); got != "⊥" {
+		t.Errorf("Format(⊥) = %q", got)
+	}
+	if got := l.Format(Const[int64](42)); got != "42" {
+		t.Errorf("Format(42) = %q", got)
+	}
+	if got := l.Format(l.Top()); got != "⊤" {
+		t.Errorf("Format(⊤) = %q", got)
+	}
+}
+
+func TestPowersetFormatSorted(t *testing.T) {
+	l := Powerset[int]{}
+	if got := l.Format(PS(3, 1, 2)); got != "{1,2,3}" {
+		t.Errorf("Format = %q, want {1,2,3}", got)
+	}
+}
+
+func TestIntervalFormat(t *testing.T) {
+	l := Interval{}
+	cases := map[string]Ival{
+		"⊥":       l.Bot(),
+		"[-∞,+∞]": l.Top(),
+		"[3,7]":   IvalRange(3, 7),
+		"[-∞,0]":  {Lo: NegInf, Hi: 0},
+		"[1,+∞]":  {Lo: 1, Hi: PosInf},
+	}
+	for want, iv := range cases {
+		if got := l.Format(iv); got != want {
+			t.Errorf("Format(%v) = %q, want %q", iv, got, want)
+		}
+	}
+}
+
+func TestSignFormat(t *testing.T) {
+	l := Sign{}
+	if got := l.Format(SignNonNeg); got != "{0,+}" {
+		t.Errorf("Format(NonNeg) = %q", got)
+	}
+	if got := l.Format(SignBotE); got != "⊥" {
+		t.Errorf("Format(⊥) = %q", got)
+	}
+	if got := l.Format(SignTopE); got != "⊤" {
+		t.Errorf("Format(⊤) = %q", got)
+	}
+}
+
+func TestMapLatticeBindJoinAndWiden(t *testing.T) {
+	l := NewMapLattice[string, Ival](Interval{})
+	d := l.Bind(l.Bot(), "x", IvalOf(1))
+	d = l.BindJoin(d, "x", IvalOf(5))
+	got := l.Get(d, "x")
+	if got.Lo != 1 || got.Hi != 5 {
+		t.Errorf("BindJoin = %v, want [1,5]", got)
+	}
+	// Widen: unstable upper bound jumps to +∞.
+	older := l.Bind(l.Bot(), "x", IvalRange(0, 1))
+	newer := l.Bind(l.Bot(), "x", IvalRange(0, 2))
+	w := l.Widen(older, newer)
+	if l.Get(w, "x").Hi != PosInf {
+		t.Errorf("map widening did not widen the value: %v", l.Get(w, "x"))
+	}
+	// Keys only in newer survive.
+	newer2 := l.Bind(newer, "y", IvalOf(9))
+	w2 := l.Widen(older, newer2)
+	if l.Get(w2, "y").Empty {
+		t.Error("new key lost during widening")
+	}
+}
+
+func TestMapLatticeFormatDeterministic(t *testing.T) {
+	l := NewMapLattice[string, SignElem](Sign{})
+	d := l.Bind(l.Bind(l.Bot(), "b", SignPos), "a", SignNeg)
+	if got := l.Format(d); got != "[a↦{-} b↦{+}]" {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+func TestProductFormatAndWiden(t *testing.T) {
+	l := NewProduct[SignElem, Ival](Sign{}, Interval{})
+	p := Pair[SignElem, Ival]{SignPos, IvalOf(3)}
+	if got := l.Format(p); got != "({+}, [3,3])" {
+		t.Errorf("Format = %q", got)
+	}
+	// Widening: sign joins (finite), interval widens.
+	older := Pair[SignElem, Ival]{SignPos, IvalRange(0, 1)}
+	newer := Pair[SignElem, Ival]{SignNeg, IvalRange(0, 5)}
+	w := l.Widen(older, newer)
+	if w.Fst != SignNonZero {
+		t.Errorf("sign component = %v, want {-,+}", w.Fst)
+	}
+	if w.Snd.Hi != PosInf {
+		t.Errorf("interval component = %v, want widened top", w.Snd)
+	}
+}
+
+func TestSetElems(t *testing.T) {
+	s := NewSet(3, 1, 2)
+	elems := s.Elems()
+	if len(elems) != 3 {
+		t.Errorf("Elems = %v", elems)
+	}
+	seen := map[int]bool{}
+	for _, e := range elems {
+		seen[e] = true
+	}
+	if !seen[1] || !seen[2] || !seen[3] {
+		t.Errorf("Elems missing members: %v", elems)
+	}
+}
+
+func TestSaturatingArithmeticEdges(t *testing.T) {
+	if satNeg(NegInf) != PosInf || satNeg(PosInf) != NegInf {
+		t.Error("satNeg at infinities")
+	}
+	if satMul(NegInf, -1) != PosInf {
+		t.Error("−∞ × negative should be +∞")
+	}
+	if satMul(PosInf, -2) != NegInf {
+		t.Error("+∞ × negative should be −∞")
+	}
+	if satMul(1<<62, 4) != PosInf {
+		t.Error("overflowing product should saturate to +∞")
+	}
+	if satMul(1<<62, -4) != NegInf {
+		t.Error("overflowing negative product should saturate to −∞")
+	}
+	if satAdd(PosInf, -5) != PosInf {
+		t.Error("+∞ + finite stays +∞")
+	}
+}

@@ -1,0 +1,125 @@
+package lattice
+
+import "fmt"
+
+// FlatKind tags the three layers of a flat lattice.
+type FlatKind uint8
+
+// Flat element layers.
+const (
+	FlatBot FlatKind = iota
+	FlatConst
+	FlatTop
+)
+
+// FlatElem is an element of Flat[V]: ⊥, a single constant, or ⊤.
+// The zero value is ⊥.
+type FlatElem[V comparable] struct {
+	Kind FlatKind
+	V    V
+}
+
+// Const wraps a value in the constant layer.
+func Const[V comparable](v V) FlatElem[V] { return FlatElem[V]{Kind: FlatConst, V: v} }
+
+// Flat is the flat (three-layer) lattice over V: ⊥ ⊑ const v ⊑ ⊤, with
+// distinct constants incomparable. The classic constant-propagation domain
+// is Flat[int64].
+type Flat[V comparable] struct{}
+
+var _ Lattice[FlatElem[int64]] = Flat[int64]{}
+
+// Bot returns ⊥.
+func (Flat[V]) Bot() FlatElem[V] { return FlatElem[V]{Kind: FlatBot} }
+
+// Top returns ⊤.
+func (Flat[V]) Top() FlatElem[V] { return FlatElem[V]{Kind: FlatTop} }
+
+// Leq reports a ⊑ b.
+func (Flat[V]) Leq(a, b FlatElem[V]) bool {
+	switch {
+	case a.Kind == FlatBot:
+		return true
+	case b.Kind == FlatTop:
+		return true
+	case a.Kind == FlatConst && b.Kind == FlatConst:
+		return a.V == b.V
+	default:
+		return false
+	}
+}
+
+// Eq reports element equality.
+func (Flat[V]) Eq(a, b FlatElem[V]) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	return a.Kind != FlatConst || a.V == b.V
+}
+
+// Join returns a ⊔ b.
+func (l Flat[V]) Join(a, b FlatElem[V]) FlatElem[V] {
+	switch {
+	case a.Kind == FlatBot:
+		return b
+	case b.Kind == FlatBot:
+		return a
+	case a.Kind == FlatConst && b.Kind == FlatConst && a.V == b.V:
+		return a
+	default:
+		return l.Top()
+	}
+}
+
+// Meet returns a ⊓ b.
+func (l Flat[V]) Meet(a, b FlatElem[V]) FlatElem[V] {
+	switch {
+	case a.Kind == FlatTop:
+		return b
+	case b.Kind == FlatTop:
+		return a
+	case a.Kind == FlatConst && b.Kind == FlatConst && a.V == b.V:
+		return a
+	default:
+		return l.Bot()
+	}
+}
+
+// Format renders an element.
+func (Flat[V]) Format(a FlatElem[V]) string {
+	switch a.Kind {
+	case FlatBot:
+		return "⊥"
+	case FlatTop:
+		return "⊤"
+	default:
+		return fmt.Sprintf("%v", a.V)
+	}
+}
+
+// Bool is the two-point lattice false ⊑ true, useful for may-properties
+// ("may escape", "may race"): false means "definitely not observed".
+type Bool struct{}
+
+var _ Lattice[bool] = Bool{}
+
+// Bot returns false.
+func (Bool) Bot() bool { return false }
+
+// Top returns true.
+func (Bool) Top() bool { return true }
+
+// Leq reports a ⊑ b (implication).
+func (Bool) Leq(a, b bool) bool { return !a || b }
+
+// Eq reports equality.
+func (Bool) Eq(a, b bool) bool { return a == b }
+
+// Join returns a ∨ b.
+func (Bool) Join(a, b bool) bool { return a || b }
+
+// Meet returns a ∧ b.
+func (Bool) Meet(a, b bool) bool { return a && b }
+
+// Format renders an element.
+func (Bool) Format(a bool) string { return fmt.Sprintf("%v", a) }

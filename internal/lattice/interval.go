@@ -1,0 +1,218 @@
+package lattice
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is the integer-interval lattice with +/−∞ bounds and widening.
+// Elements are Ival values; the empty interval is ⊥.
+type Interval struct{}
+
+// Infinite bounds. Arithmetic saturates at these sentinels.
+const (
+	NegInf int64 = math.MinInt64
+	PosInf int64 = math.MaxInt64
+)
+
+// Ival is an interval element [Lo, Hi]; Empty marks ⊥. The zero value is
+// NOT ⊥ (it is [0,0]); use Interval{}.Bot().
+type Ival struct {
+	Lo, Hi int64
+	Empty  bool
+}
+
+var (
+	_ Lattice[Ival] = Interval{}
+	_ Widener[Ival] = Interval{}
+)
+
+// IvalOf returns the singleton interval [n,n].
+func IvalOf(n int64) Ival { return Ival{Lo: n, Hi: n} }
+
+// IvalRange returns [lo,hi]; lo must be ≤ hi.
+func IvalRange(lo, hi int64) Ival {
+	if lo > hi {
+		return Ival{Empty: true}
+	}
+	return Ival{Lo: lo, Hi: hi}
+}
+
+// Bot returns the empty interval.
+func (Interval) Bot() Ival { return Ival{Empty: true} }
+
+// Top returns [−∞, +∞].
+func (Interval) Top() Ival { return Ival{Lo: NegInf, Hi: PosInf} }
+
+// Leq reports interval inclusion.
+func (Interval) Leq(a, b Ival) bool {
+	if a.Empty {
+		return true
+	}
+	if b.Empty {
+		return false
+	}
+	return b.Lo <= a.Lo && a.Hi <= b.Hi
+}
+
+// Eq reports equality.
+func (Interval) Eq(a, b Ival) bool {
+	if a.Empty || b.Empty {
+		return a.Empty == b.Empty
+	}
+	return a.Lo == b.Lo && a.Hi == b.Hi
+}
+
+// Join returns the interval hull.
+func (Interval) Join(a, b Ival) Ival {
+	if a.Empty {
+		return b
+	}
+	if b.Empty {
+		return a
+	}
+	return Ival{Lo: min64(a.Lo, b.Lo), Hi: max64(a.Hi, b.Hi)}
+}
+
+// Meet returns the intersection.
+func (Interval) Meet(a, b Ival) Ival {
+	if a.Empty || b.Empty {
+		return Ival{Empty: true}
+	}
+	lo, hi := max64(a.Lo, b.Lo), min64(a.Hi, b.Hi)
+	if lo > hi {
+		return Ival{Empty: true}
+	}
+	return Ival{Lo: lo, Hi: hi}
+}
+
+// Widen jumps unstable bounds to ±∞.
+func (Interval) Widen(older, newer Ival) Ival {
+	if older.Empty {
+		return newer
+	}
+	if newer.Empty {
+		return older
+	}
+	out := older
+	if newer.Lo < older.Lo {
+		out.Lo = NegInf
+	}
+	if newer.Hi > older.Hi {
+		out.Hi = PosInf
+	}
+	return out
+}
+
+// Format renders an element.
+func (Interval) Format(a Ival) string {
+	if a.Empty {
+		return "⊥"
+	}
+	lo, hi := "-∞", "+∞"
+	if a.Lo != NegInf {
+		lo = fmt.Sprintf("%d", a.Lo)
+	}
+	if a.Hi != PosInf {
+		hi = fmt.Sprintf("%d", a.Hi)
+	}
+	return "[" + lo + "," + hi + "]"
+}
+
+// IvalAdd computes a + b with saturating bounds.
+func IvalAdd(a, b Ival) Ival {
+	if a.Empty || b.Empty {
+		return Ival{Empty: true}
+	}
+	return Ival{Lo: satAdd(a.Lo, b.Lo), Hi: satAdd(a.Hi, b.Hi)}
+}
+
+// IvalNeg computes −a.
+func IvalNeg(a Ival) Ival {
+	if a.Empty {
+		return a
+	}
+	return Ival{Lo: satNeg(a.Hi), Hi: satNeg(a.Lo)}
+}
+
+// IvalSub computes a − b.
+func IvalSub(a, b Ival) Ival { return IvalAdd(a, IvalNeg(b)) }
+
+// IvalMul computes a × b (hull of corner products, saturating).
+func IvalMul(a, b Ival) Ival {
+	if a.Empty || b.Empty {
+		return Ival{Empty: true}
+	}
+	c := [4]int64{
+		satMul(a.Lo, b.Lo), satMul(a.Lo, b.Hi),
+		satMul(a.Hi, b.Lo), satMul(a.Hi, b.Hi),
+	}
+	lo, hi := c[0], c[0]
+	for _, v := range c[1:] {
+		lo, hi = min64(lo, v), max64(hi, v)
+	}
+	return Ival{Lo: lo, Hi: hi}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func satAdd(a, b int64) int64 {
+	if a == NegInf || b == NegInf {
+		return NegInf
+	}
+	if a == PosInf || b == PosInf {
+		return PosInf
+	}
+	s := a + b
+	switch {
+	case b > 0 && s < a:
+		return PosInf
+	case b < 0 && s > a:
+		return NegInf
+	}
+	return s
+}
+
+func satNeg(a int64) int64 {
+	switch a {
+	case NegInf:
+		return PosInf
+	case PosInf:
+		return NegInf
+	default:
+		return -a
+	}
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	pos := (a > 0) == (b > 0)
+	if a == NegInf || a == PosInf || b == NegInf || b == PosInf {
+		if pos {
+			return PosInf
+		}
+		return NegInf
+	}
+	p := a * b
+	if p/b != a {
+		if pos {
+			return PosInf
+		}
+		return NegInf
+	}
+	return p
+}

@@ -1,0 +1,308 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Exhaustive law checks on small domains; randomized on large ones.
+
+func TestFlatLaws(t *testing.T) {
+	l := Flat[int64]{}
+	sample := []FlatElem[int64]{
+		l.Bot(), l.Top(), Const[int64](0), Const[int64](1), Const[int64](-3), Const[int64](1),
+	}
+	if msg := CheckPartialOrder(l, sample); msg != "" {
+		t.Error(msg)
+	}
+	if msg := CheckLatticeLaws(l, sample); msg != "" {
+		t.Error(msg)
+	}
+}
+
+func TestBoolLaws(t *testing.T) {
+	l := Bool{}
+	sample := []bool{false, true}
+	if msg := CheckPartialOrder[bool](l, sample); msg != "" {
+		t.Error(msg)
+	}
+	if msg := CheckLatticeLaws[bool](l, sample); msg != "" {
+		t.Error(msg)
+	}
+}
+
+func TestSignLawsExhaustive(t *testing.T) {
+	l := Sign{}
+	var sample []SignElem
+	for e := SignElem(0); e <= SignTopE; e++ {
+		sample = append(sample, e)
+	}
+	if msg := CheckPartialOrder[SignElem](l, sample); msg != "" {
+		t.Error(msg)
+	}
+	if msg := CheckLatticeLaws[SignElem](l, sample); msg != "" {
+		t.Error(msg)
+	}
+}
+
+func randIvals(r *rand.Rand, n int) []Ival {
+	l := Interval{}
+	out := []Ival{l.Bot(), l.Top()}
+	for i := 0; i < n; i++ {
+		a, b := r.Int63n(41)-20, r.Int63n(41)-20
+		if a > b {
+			a, b = b, a
+		}
+		iv := Ival{Lo: a, Hi: b}
+		switch r.Intn(5) {
+		case 0:
+			iv.Lo = NegInf
+		case 1:
+			iv.Hi = PosInf
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+func TestIntervalLaws(t *testing.T) {
+	l := Interval{}
+	sample := randIvals(rand.New(rand.NewSource(1)), 12)
+	if msg := CheckPartialOrder[Ival](l, sample); msg != "" {
+		t.Error(msg)
+	}
+	if msg := CheckLatticeLaws[Ival](l, sample); msg != "" {
+		t.Error(msg)
+	}
+	if msg := CheckWidening[Ival](l, l, sample); msg != "" {
+		t.Error(msg)
+	}
+}
+
+func TestPowersetLaws(t *testing.T) {
+	l := Powerset[int]{}
+	sample := []PSElem[int]{
+		l.Bot(), l.Top(), PS(1), PS(2), PS(1, 2), PS(1, 2, 3), PS(4),
+	}
+	if msg := CheckPartialOrder[PSElem[int]](l, sample); msg != "" {
+		t.Error(msg)
+	}
+	if msg := CheckLatticeLaws[PSElem[int]](l, sample); msg != "" {
+		t.Error(msg)
+	}
+}
+
+func TestProductLaws(t *testing.T) {
+	l := NewProduct[SignElem, Ival](Sign{}, Interval{})
+	signs := []SignElem{SignBotE, SignTopE, SignNeg, SignNonNeg}
+	ivals := randIvals(rand.New(rand.NewSource(2)), 3)
+	var sample []Pair[SignElem, Ival]
+	for _, s := range signs {
+		for _, iv := range ivals {
+			sample = append(sample, Pair[SignElem, Ival]{s, iv})
+		}
+	}
+	if msg := CheckPartialOrder[Pair[SignElem, Ival]](l, sample); msg != "" {
+		t.Error(msg)
+	}
+	if msg := CheckLatticeLaws[Pair[SignElem, Ival]](l, sample); msg != "" {
+		t.Error(msg)
+	}
+	if msg := CheckWidening[Pair[SignElem, Ival]](l, l, sample); msg != "" {
+		t.Error(msg)
+	}
+}
+
+func TestMapLatticeLaws(t *testing.T) {
+	l := NewMapLattice[string, SignElem](Sign{})
+	mk := func(kv ...any) DMap[string, SignElem] {
+		d := l.Bot()
+		for i := 0; i < len(kv); i += 2 {
+			d = l.Bind(d, kv[i].(string), kv[i+1].(SignElem))
+		}
+		return d
+	}
+	sample := []DMap[string, SignElem]{
+		l.Bot(),
+		mk("x", SignPos),
+		mk("x", SignNeg),
+		mk("x", SignTopE, "y", SignZero),
+		mk("y", SignNonNeg),
+		mk("x", SignPos, "y", SignZero, "z", SignNeg),
+	}
+	// MapLattice has no ⊤; check the laws that do not involve Top.
+	for _, a := range sample {
+		if !l.Leq(l.Bot(), a) {
+			t.Errorf("Bot not ⊑ %s", l.Format(a))
+		}
+		if !l.Eq(l.Join(a, a), a) {
+			t.Errorf("join not idempotent at %s", l.Format(a))
+		}
+		for _, b := range sample {
+			ab := l.Join(a, b)
+			if !l.Eq(ab, l.Join(b, a)) {
+				t.Errorf("join not commutative at %s, %s", l.Format(a), l.Format(b))
+			}
+			if !l.Leq(a, ab) || !l.Leq(b, ab) {
+				t.Errorf("join not an upper bound at %s, %s", l.Format(a), l.Format(b))
+			}
+			m := l.Meet(a, b)
+			if !l.Leq(m, a) || !l.Leq(m, b) {
+				t.Errorf("meet not a lower bound at %s, %s", l.Format(a), l.Format(b))
+			}
+			if l.Leq(a, b) != l.Eq(ab, b) {
+				t.Errorf("Leq/Join inconsistency at %s, %s", l.Format(a), l.Format(b))
+			}
+			for _, c := range sample {
+				if !l.Eq(l.Join(l.Join(a, b), c), l.Join(a, l.Join(b, c))) {
+					t.Error("join not associative")
+				}
+				if l.Leq(a, c) && l.Leq(b, c) && !l.Leq(ab, c) {
+					t.Error("join not least upper bound")
+				}
+			}
+		}
+	}
+}
+
+func TestMapLatticeTopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Top() should panic for MapLattice")
+		}
+	}()
+	NewMapLattice[string, bool](Bool{}).Top()
+}
+
+func TestMapLatticeBotNormalization(t *testing.T) {
+	l := NewMapLattice[string, SignElem](Sign{})
+	d := l.Bind(l.Bot(), "x", SignBotE)
+	if !l.Eq(d, l.Bot()) {
+		t.Error("binding ⊥ should keep the map equal to Bot")
+	}
+	d = l.Bind(l.Bot(), "x", SignPos)
+	d = l.Bind(d, "x", SignBotE)
+	if !l.Eq(d, l.Bot()) {
+		t.Error("rebinding to ⊥ should normalize the entry away")
+	}
+	if got := len(l.Keys(d)); got != 0 {
+		t.Errorf("normalized map has %d keys, want 0", got)
+	}
+}
+
+// --- Property-based checks via testing/quick ---
+
+func TestQuickSignTransferSound(t *testing.T) {
+	// SignAdd/SignMul/SignSub over-approximate concrete arithmetic.
+	f := func(a, b int16) bool {
+		l := Sign{}
+		x, y := int64(a), int64(b)
+		if !l.Leq(SignOf(x+y), SignAdd(SignOf(x), SignOf(y))) {
+			return false
+		}
+		if !l.Leq(SignOf(x*y), SignMul(SignOf(x), SignOf(y))) {
+			return false
+		}
+		return l.Leq(SignOf(x-y), SignSub(SignOf(x), SignOf(y)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntervalTransferSound(t *testing.T) {
+	f := func(a, b, c, d int16) bool {
+		l := Interval{}
+		lo1, hi1 := int64(min16(a, b)), int64(max16(a, b))
+		lo2, hi2 := int64(min16(c, d)), int64(max16(c, d))
+		i1, i2 := IvalRange(lo1, hi1), IvalRange(lo2, hi2)
+		// Every corner combination must land inside the abstract result.
+		for _, x := range []int64{lo1, hi1} {
+			for _, y := range []int64{lo2, hi2} {
+				if !l.Leq(IvalOf(x+y), IvalAdd(i1, i2)) {
+					return false
+				}
+				if !l.Leq(IvalOf(x*y), IvalMul(i1, i2)) {
+					return false
+				}
+				if !l.Leq(IvalOf(x-y), IvalSub(i1, i2)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntervalJoinHull(t *testing.T) {
+	f := func(a, b, c, d int16) bool {
+		l := Interval{}
+		i1 := IvalRange(int64(min16(a, b)), int64(max16(a, b)))
+		i2 := IvalRange(int64(min16(c, d)), int64(max16(c, d)))
+		j := l.Join(i1, i2)
+		return l.Leq(i1, j) && l.Leq(i2, j) &&
+			j.Lo == min64(i1.Lo, i2.Lo) && j.Hi == max64(i1.Hi, i2.Hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSetOperations(t *testing.T) {
+	f := func(xs, ys []int8) bool {
+		sx, sy := NewSet(xs...), NewSet(ys...)
+		u := sx.Union(sy)
+		if !sx.SubsetOf(u) || !sy.SubsetOf(u) {
+			return false
+		}
+		i := sx.Intersect(sy)
+		if !i.SubsetOf(sx) || !i.SubsetOf(sy) {
+			return false
+		}
+		for _, x := range xs {
+			if !u.Has(x) {
+				return false
+			}
+			if sy.Has(x) && !i.Has(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSetImmutability(t *testing.T) {
+	f := func(xs []int8, y int8) bool {
+		s := NewSet(xs...)
+		n := s.Len()
+		s2 := s.Add(y)
+		if s.Has(y) {
+			return s2.Len() == n && s.Len() == n
+		}
+		return s2.Len() == n+1 && s.Len() == n && !s.Has(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func min16(a, b int16) int16 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max16(a, b int16) int16 {
+	if a > b {
+		return a
+	}
+	return b
+}

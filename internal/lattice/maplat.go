@@ -1,0 +1,169 @@
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DMap is an element of MapLattice: an immutable finite map from K to V
+// where absent keys implicitly carry ⊥. The zero value is the everywhere-⊥
+// map. Entries whose value is ⊥ are normalized away, so Eq is structural.
+type DMap[K comparable, V any] struct {
+	m map[K]V
+}
+
+// MapLattice lifts a value lattice pointwise over an unbounded key space:
+// the abstract-store pattern (variables → abstract values, allocation
+// sites → summaries). Its ⊤ is not representable; Top panics. Use it only
+// in contexts that never ask for ⊤ (joins, fixpoints from below), which is
+// how abstract stores are used.
+type MapLattice[K comparable, V any] struct {
+	LV Lattice[V]
+}
+
+// NewMapLattice builds a pointwise map lattice over the value lattice lv.
+func NewMapLattice[K comparable, V any](lv Lattice[V]) MapLattice[K, V] {
+	return MapLattice[K, V]{LV: lv}
+}
+
+// Get returns the value bound to k (⊥ if absent).
+func (l MapLattice[K, V]) Get(d DMap[K, V], k K) V {
+	if v, ok := d.m[k]; ok {
+		return v
+	}
+	return l.LV.Bot()
+}
+
+// Bind returns d with k set to v (normalizing ⊥ to absence).
+func (l MapLattice[K, V]) Bind(d DMap[K, V], k K, v V) DMap[K, V] {
+	bot := l.LV.Eq(v, l.LV.Bot())
+	if _, present := d.m[k]; !present && bot {
+		return d
+	}
+	m := make(map[K]V, len(d.m)+1)
+	for kk, vv := range d.m {
+		m[kk] = vv
+	}
+	if bot {
+		delete(m, k)
+	} else {
+		m[k] = v
+	}
+	return DMap[K, V]{m: m}
+}
+
+// BindJoin returns d with k joined with v (weak update).
+func (l MapLattice[K, V]) BindJoin(d DMap[K, V], k K, v V) DMap[K, V] {
+	return l.Bind(d, k, l.LV.Join(l.Get(d, k), v))
+}
+
+// Keys returns the bound (non-⊥) keys of d in unspecified order.
+func (MapLattice[K, V]) Keys(d DMap[K, V]) []K {
+	out := make([]K, 0, len(d.m))
+	for k := range d.m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Bot returns the everywhere-⊥ map.
+func (MapLattice[K, V]) Bot() DMap[K, V] { return DMap[K, V]{} }
+
+// Top is not representable for an unbounded key space.
+func (MapLattice[K, V]) Top() DMap[K, V] {
+	panic("lattice: MapLattice has no representable ⊤")
+}
+
+// Leq is pointwise.
+func (l MapLattice[K, V]) Leq(a, b DMap[K, V]) bool {
+	for k, av := range a.m {
+		if !l.LV.Leq(av, l.Get(b, k)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eq is pointwise (structural, thanks to ⊥ normalization).
+func (l MapLattice[K, V]) Eq(a, b DMap[K, V]) bool {
+	if len(a.m) != len(b.m) {
+		return false
+	}
+	for k, av := range a.m {
+		bv, ok := b.m[k]
+		if !ok || !l.LV.Eq(av, bv) {
+			return false
+		}
+	}
+	return true
+}
+
+// Join is pointwise.
+func (l MapLattice[K, V]) Join(a, b DMap[K, V]) DMap[K, V] {
+	if len(a.m) == 0 {
+		return b
+	}
+	if len(b.m) == 0 {
+		return a
+	}
+	m := make(map[K]V, len(a.m)+len(b.m))
+	for k, av := range a.m {
+		m[k] = av
+	}
+	for k, bv := range b.m {
+		if av, ok := m[k]; ok {
+			m[k] = l.LV.Join(av, bv)
+		} else {
+			m[k] = bv
+		}
+	}
+	return DMap[K, V]{m: m}
+}
+
+// Meet is pointwise (absent keys are ⊥, so only common keys survive).
+func (l MapLattice[K, V]) Meet(a, b DMap[K, V]) DMap[K, V] {
+	var m map[K]V
+	for k, av := range a.m {
+		if bv, ok := b.m[k]; ok {
+			mv := l.LV.Meet(av, bv)
+			if !l.LV.Eq(mv, l.LV.Bot()) {
+				if m == nil {
+					m = make(map[K]V)
+				}
+				m[k] = mv
+			}
+		}
+	}
+	return DMap[K, V]{m: m}
+}
+
+// Widen widens pointwise if the value lattice widens, else joins.
+func (l MapLattice[K, V]) Widen(older, newer DMap[K, V]) DMap[K, V] {
+	w, ok := l.LV.(Widener[V])
+	if !ok {
+		return l.Join(older, newer)
+	}
+	m := make(map[K]V, len(older.m)+len(newer.m))
+	for k, ov := range older.m {
+		m[k] = ov
+	}
+	for k, nv := range newer.m {
+		if ov, okk := m[k]; okk {
+			m[k] = w.Widen(ov, nv)
+		} else {
+			m[k] = nv
+		}
+	}
+	return DMap[K, V]{m: m}
+}
+
+// Format renders the map with sorted keys for determinism.
+func (l MapLattice[K, V]) Format(a DMap[K, V]) string {
+	parts := make([]string, 0, len(a.m))
+	for k, v := range a.m {
+		parts = append(parts, fmt.Sprintf("%v↦%s", k, l.LV.Format(v)))
+	}
+	sort.Strings(parts)
+	return "[" + strings.Join(parts, " ") + "]"
+}

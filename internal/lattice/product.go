@@ -1,0 +1,66 @@
+package lattice
+
+// Pair is an element of the product lattice Product[A, B].
+type Pair[A, B any] struct {
+	Fst A
+	Snd B
+}
+
+// Product is the component-wise product of two lattices.
+type Product[A, B any] struct {
+	LA Lattice[A]
+	LB Lattice[B]
+}
+
+// NewProduct builds a product lattice from two component lattices.
+func NewProduct[A, B any](la Lattice[A], lb Lattice[B]) Product[A, B] {
+	return Product[A, B]{LA: la, LB: lb}
+}
+
+// Bot returns (⊥, ⊥).
+func (l Product[A, B]) Bot() Pair[A, B] { return Pair[A, B]{l.LA.Bot(), l.LB.Bot()} }
+
+// Top returns (⊤, ⊤).
+func (l Product[A, B]) Top() Pair[A, B] { return Pair[A, B]{l.LA.Top(), l.LB.Top()} }
+
+// Leq is component-wise.
+func (l Product[A, B]) Leq(a, b Pair[A, B]) bool {
+	return l.LA.Leq(a.Fst, b.Fst) && l.LB.Leq(a.Snd, b.Snd)
+}
+
+// Eq is component-wise.
+func (l Product[A, B]) Eq(a, b Pair[A, B]) bool {
+	return l.LA.Eq(a.Fst, b.Fst) && l.LB.Eq(a.Snd, b.Snd)
+}
+
+// Join is component-wise.
+func (l Product[A, B]) Join(a, b Pair[A, B]) Pair[A, B] {
+	return Pair[A, B]{l.LA.Join(a.Fst, b.Fst), l.LB.Join(a.Snd, b.Snd)}
+}
+
+// Meet is component-wise.
+func (l Product[A, B]) Meet(a, b Pair[A, B]) Pair[A, B] {
+	return Pair[A, B]{l.LA.Meet(a.Fst, b.Fst), l.LB.Meet(a.Snd, b.Snd)}
+}
+
+// Widen widens component-wise, falling back to Join for components whose
+// lattice does not widen.
+func (l Product[A, B]) Widen(older, newer Pair[A, B]) Pair[A, B] {
+	var out Pair[A, B]
+	if w, ok := l.LA.(Widener[A]); ok {
+		out.Fst = w.Widen(older.Fst, newer.Fst)
+	} else {
+		out.Fst = l.LA.Join(older.Fst, newer.Fst)
+	}
+	if w, ok := l.LB.(Widener[B]); ok {
+		out.Snd = w.Widen(older.Snd, newer.Snd)
+	} else {
+		out.Snd = l.LB.Join(older.Snd, newer.Snd)
+	}
+	return out
+}
+
+// Format renders an element.
+func (l Product[A, B]) Format(a Pair[A, B]) string {
+	return "(" + l.LA.Format(a.Fst) + ", " + l.LB.Format(a.Snd) + ")"
+}

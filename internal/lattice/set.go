@@ -1,0 +1,190 @@
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is an immutable finite set of comparable elements, used as the
+// element type of Powerset. The zero value is the empty set.
+type Set[E comparable] struct {
+	m map[E]struct{}
+}
+
+// NewSet builds a set from elements.
+func NewSet[E comparable](elems ...E) Set[E] {
+	if len(elems) == 0 {
+		return Set[E]{}
+	}
+	m := make(map[E]struct{}, len(elems))
+	for _, e := range elems {
+		m[e] = struct{}{}
+	}
+	return Set[E]{m: m}
+}
+
+// Len returns the cardinality.
+func (s Set[E]) Len() int { return len(s.m) }
+
+// Has reports membership.
+func (s Set[E]) Has(e E) bool {
+	_, ok := s.m[e]
+	return ok
+}
+
+// Add returns s ∪ {e} (s is unchanged).
+func (s Set[E]) Add(e E) Set[E] {
+	if s.Has(e) {
+		return s
+	}
+	m := make(map[E]struct{}, len(s.m)+1)
+	for k := range s.m {
+		m[k] = struct{}{}
+	}
+	m[e] = struct{}{}
+	return Set[E]{m: m}
+}
+
+// Union returns s ∪ t.
+func (s Set[E]) Union(t Set[E]) Set[E] {
+	if s.Len() == 0 {
+		return t
+	}
+	if t.Len() == 0 {
+		return s
+	}
+	m := make(map[E]struct{}, len(s.m)+len(t.m))
+	for k := range s.m {
+		m[k] = struct{}{}
+	}
+	for k := range t.m {
+		m[k] = struct{}{}
+	}
+	return Set[E]{m: m}
+}
+
+// Intersect returns s ∩ t.
+func (s Set[E]) Intersect(t Set[E]) Set[E] {
+	small, big := s, t
+	if small.Len() > big.Len() {
+		small, big = big, small
+	}
+	var m map[E]struct{}
+	for k := range small.m {
+		if big.Has(k) {
+			if m == nil {
+				m = make(map[E]struct{})
+			}
+			m[k] = struct{}{}
+		}
+	}
+	if m == nil {
+		return Set[E]{}
+	}
+	return Set[E]{m: m}
+}
+
+// SubsetOf reports s ⊆ t.
+func (s Set[E]) SubsetOf(t Set[E]) bool {
+	if s.Len() > t.Len() {
+		return false
+	}
+	for k := range s.m {
+		if !t.Has(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality.
+func (s Set[E]) Equal(t Set[E]) bool { return s.Len() == t.Len() && s.SubsetOf(t) }
+
+// Elems returns the elements in unspecified order.
+func (s Set[E]) Elems() []E {
+	out := make([]E, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ForEach calls f on every element (unspecified order).
+func (s Set[E]) ForEach(f func(E)) {
+	for k := range s.m {
+		f(k)
+	}
+}
+
+// Powerset is the may-set lattice over E extended with an explicit ⊤
+// ("all values of E, including ones not yet seen"). Elements are PSElem.
+// Join is union; Top absorbs. This is the natural domain for points-to
+// sets, accessed-location sets, and thread sets.
+type Powerset[E comparable] struct{}
+
+// PSElem is a powerset element: either ⊤ (All) or a finite set.
+type PSElem[E comparable] struct {
+	All bool
+	S   Set[E]
+}
+
+// PS builds a finite powerset element.
+func PS[E comparable](elems ...E) PSElem[E] { return PSElem[E]{S: NewSet(elems...)} }
+
+var _ Lattice[PSElem[int]] = Powerset[int]{}
+
+// Bot returns the empty set.
+func (Powerset[E]) Bot() PSElem[E] { return PSElem[E]{} }
+
+// Top returns the ⊤ element.
+func (Powerset[E]) Top() PSElem[E] { return PSElem[E]{All: true} }
+
+// Leq reports inclusion.
+func (Powerset[E]) Leq(a, b PSElem[E]) bool {
+	if b.All {
+		return true
+	}
+	if a.All {
+		return false
+	}
+	return a.S.SubsetOf(b.S)
+}
+
+// Eq reports equality.
+func (Powerset[E]) Eq(a, b PSElem[E]) bool {
+	if a.All || b.All {
+		return a.All == b.All
+	}
+	return a.S.Equal(b.S)
+}
+
+// Join returns the union.
+func (l Powerset[E]) Join(a, b PSElem[E]) PSElem[E] {
+	if a.All || b.All {
+		return l.Top()
+	}
+	return PSElem[E]{S: a.S.Union(b.S)}
+}
+
+// Meet returns the intersection.
+func (Powerset[E]) Meet(a, b PSElem[E]) PSElem[E] {
+	if a.All {
+		return b
+	}
+	if b.All {
+		return a
+	}
+	return PSElem[E]{S: a.S.Intersect(b.S)}
+}
+
+// Format renders an element with sorted members for determinism.
+func (Powerset[E]) Format(a PSElem[E]) string {
+	if a.All {
+		return "⊤"
+	}
+	parts := make([]string, 0, a.S.Len())
+	a.S.ForEach(func(e E) { parts = append(parts, fmt.Sprintf("%v", e)) })
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,153 @@
+package lattice
+
+import "strings"
+
+// Sign is the eight-element sign lattice: subsets of {−, 0, +} ordered by
+// inclusion. ⊥ is the empty set, ⊤ is {−,0,+}.
+type Sign struct{}
+
+// SignElem is a bitmask over SignNeg, SignZero, SignPos.
+type SignElem uint8
+
+// Sign components and common elements.
+const (
+	SignNeg  SignElem = 1 << iota // may be negative
+	SignZero                      // may be zero
+	SignPos                       // may be positive
+
+	SignBotE    SignElem = 0
+	SignTopE             = SignNeg | SignZero | SignPos
+	SignNonNeg           = SignZero | SignPos
+	SignNonPos           = SignNeg | SignZero
+	SignNonZero          = SignNeg | SignPos
+)
+
+var _ Lattice[SignElem] = Sign{}
+
+// SignOf abstracts a concrete integer.
+func SignOf(n int64) SignElem {
+	switch {
+	case n < 0:
+		return SignNeg
+	case n == 0:
+		return SignZero
+	default:
+		return SignPos
+	}
+}
+
+// Bot returns the empty sign set.
+func (Sign) Bot() SignElem { return SignBotE }
+
+// Top returns {−,0,+}.
+func (Sign) Top() SignElem { return SignTopE }
+
+// Leq is subset inclusion.
+func (Sign) Leq(a, b SignElem) bool { return a&^b == 0 }
+
+// Eq reports equality.
+func (Sign) Eq(a, b SignElem) bool { return a == b }
+
+// Join is set union.
+func (Sign) Join(a, b SignElem) SignElem { return a | b }
+
+// Meet is set intersection.
+func (Sign) Meet(a, b SignElem) SignElem { return a & b }
+
+// Format renders an element.
+func (Sign) Format(a SignElem) string {
+	switch a {
+	case SignBotE:
+		return "⊥"
+	case SignTopE:
+		return "⊤"
+	}
+	var parts []string
+	if a&SignNeg != 0 {
+		parts = append(parts, "-")
+	}
+	if a&SignZero != 0 {
+		parts = append(parts, "0")
+	}
+	if a&SignPos != 0 {
+		parts = append(parts, "+")
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// SignAdd is the abstract transfer function for addition.
+func SignAdd(a, b SignElem) SignElem {
+	if a == SignBotE || b == SignBotE {
+		return SignBotE
+	}
+	var out SignElem
+	forEachSign(a, func(x SignElem) {
+		forEachSign(b, func(y SignElem) {
+			out |= addOne(x, y)
+		})
+	})
+	return out
+}
+
+// SignNegate is the abstract transfer function for unary minus.
+func SignNegate(a SignElem) SignElem {
+	var out SignElem
+	if a&SignNeg != 0 {
+		out |= SignPos
+	}
+	if a&SignZero != 0 {
+		out |= SignZero
+	}
+	if a&SignPos != 0 {
+		out |= SignNeg
+	}
+	return out
+}
+
+// SignSub computes a − b abstractly.
+func SignSub(a, b SignElem) SignElem { return SignAdd(a, SignNegate(b)) }
+
+// SignMul is the abstract transfer function for multiplication.
+func SignMul(a, b SignElem) SignElem {
+	if a == SignBotE || b == SignBotE {
+		return SignBotE
+	}
+	var out SignElem
+	forEachSign(a, func(x SignElem) {
+		forEachSign(b, func(y SignElem) {
+			out |= mulOne(x, y)
+		})
+	})
+	return out
+}
+
+func forEachSign(a SignElem, f func(SignElem)) {
+	for _, s := range [...]SignElem{SignNeg, SignZero, SignPos} {
+		if a&s != 0 {
+			f(s)
+		}
+	}
+}
+
+func addOne(x, y SignElem) SignElem {
+	switch {
+	case x == SignZero:
+		return y
+	case y == SignZero:
+		return x
+	case x == y:
+		return x
+	default: // + and − : any sign
+		return SignTopE
+	}
+}
+
+func mulOne(x, y SignElem) SignElem {
+	if x == SignZero || y == SignZero {
+		return SignZero
+	}
+	if x == y {
+		return SignPos
+	}
+	return SignNeg
+}

@@ -1,0 +1,124 @@
+package paperexp
+
+import (
+	"fmt"
+
+	"psa/internal/absdom"
+	"psa/internal/abssem"
+	"psa/internal/apps"
+	"psa/internal/explore"
+	"psa/internal/lang"
+	"psa/internal/workloads"
+)
+
+// kLimitProgram allocates through a wrapper so that only the k=2 (or
+// deeper) birthdate abstraction can tell the two objects apart: the
+// innermost call symbol (mk's allocation inside mkWrap) is identical for
+// both; the wrapper's two call SITES differ one level up.
+const kLimitProgram = `
+var o1; var o2;
+
+func mk(v) {
+  var p = malloc(1);
+  *p = v;
+  return p;
+}
+func mkWrap(v) {
+  var q = mk(v);
+  return q;
+}
+func main() {
+  var a = mkWrap(1);
+  var b = mkWrap(2);
+  o1 = *a;
+  o2 = *b;
+}
+`
+
+// E13KLimit — DESIGN.md §5 ablation: the k-limit of birthdate
+// abstraction. Small k folds distinct allocation contexts together,
+// collapsing the heap and losing value precision; larger k separates
+// them. The paper's §6 presents exactly this dial.
+func E13KLimit() *Table {
+	t := &Table{
+		ID:      "E13",
+		Title:   "ablation: birthdate k-limit — abstract heap size and precision",
+		Headers: []string{"k", "abstract states", "o1 invariant", "o2 invariant", "objects distinguished"},
+	}
+	prog := lang.MustParse(kLimitProgram)
+	for _, k := range []int{1, 2, 4} {
+		res := abssem.Analyze(prog, abssem.Options{Domain: absdom.ConstDomain{}, KBirth: k})
+		v1, _ := res.GlobalInvariant("o1")
+		v2, _ := res.GlobalInvariant("o2")
+		// Distinguished = neither output covers the OTHER object's value.
+		separated := !v1.CoversInt(2) && !v2.CoversInt(1) &&
+			v1.CoversInt(1) && v2.CoversInt(2)
+		t.AddRow(k, res.States, v1.String(), v2.String(), separated)
+	}
+	t.Note("k=1 folds both allocations (same innermost call symbol): each output covers both 1 and 2; k≥2 separates the heap objects")
+	return t
+}
+
+// E14Canonicalization — DESIGN.md §5 ablation: heap-address renaming in
+// the configuration identity. Without it, configurations differing only
+// in allocation numbering stay distinct and the explored space inflates.
+func E14Canonicalization() *Table {
+	t := &Table{
+		ID:      "E14",
+		Title:   "ablation: heap-address canonicalization in state identity",
+		Headers: []string{"workload", "canonical states", "raw states", "inflation"},
+	}
+	progs := []struct {
+		name string
+		p    *lang.Program
+	}{
+		{"fig5-malloc", workloads.Fig5Malloc()},
+		{"alloc-race", lang.MustParse(`
+var p; var q;
+func main() {
+  cobegin {
+    var i = 0;
+    while i < 2 { p = malloc(1); *p = i; i = i + 1; }
+  } || {
+    var j = 0;
+    while j < 2 { q = malloc(1); *q = j + 10; j = j + 1; }
+  } coend
+}
+`)},
+	}
+	for _, w := range progs {
+		canon := explore.Explore(w.p, explore.Options{Reduction: explore.Full, MaxConfigs: 1 << 20})
+		raw := explore.Explore(w.p, explore.Options{Reduction: explore.Full, NoCanonKeys: true, MaxConfigs: 1 << 20})
+		t.AddRow(w.name, canon.States, raw.States,
+			fmt.Sprintf("%.2fx", float64(raw.States)/float64(canon.States)))
+	}
+	t.Note("renaming merges allocation-order symmetric states and garbage-only differences")
+	return t
+}
+
+// E15Restructure — the abstract's "program restructuring" promise, closed
+// end to end: derive the Figure 8 schedule, APPLY it (rewrite the four
+// calls into cobegin arms), and verify by exhaustive exploration that the
+// transformed program reaches exactly the original outcome set — then
+// show that the naive split of a dependent pair is caught.
+func E15Restructure() *Table {
+	t := &Table{
+		ID:      "E15",
+		Title:   "restructuring: apply the Fig. 8 schedule and verify equivalence",
+		Headers: []string{"transformation", "outcomes before", "outcomes after", "equivalent"},
+	}
+	prog := workloads.Fig8Calls()
+	cl := collectorFor(prog)
+	good := apps.Parallelize(cl, "s1", "s2", "s3", "s4")
+	if gp, err := apps.ApplySchedule(prog, good); err == nil {
+		eq := apps.VerifySchedule(prog, gp)
+		t.AddRow(good.String(), len(eq.OriginalOutcomes), len(eq.TransformedOutcomes), eq.Equal)
+	}
+	bad := &apps.Schedule{Groups: [][]string{{"s1", "s2"}, {"s3", "s4"}}}
+	if bp, err := apps.ApplySchedule(prog, bad); err == nil {
+		eq := apps.VerifySchedule(prog, bp)
+		t.AddRow(bad.String()+" (ignores deps)", len(eq.OriginalOutcomes), len(eq.TransformedOutcomes), eq.Equal)
+	}
+	t.Note("the dependence-respecting schedule preserves semantics; splitting (s1,s4) across arms does not")
+	return t
+}

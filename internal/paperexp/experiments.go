@@ -1,0 +1,358 @@
+package paperexp
+
+import (
+	"fmt"
+	"strings"
+
+	"psa/internal/absdom"
+	"psa/internal/abssem"
+	"psa/internal/analysis"
+	"psa/internal/apps"
+	"psa/internal/explore"
+	"psa/internal/lang"
+	"psa/internal/sem"
+	"psa/internal/workloads"
+)
+
+func collectorFor(prog *lang.Program) *analysis.Collector {
+	cl := analysis.NewCollector(prog)
+	explore.Explore(prog, explore.Options{Reduction: explore.Full, Sink: cl})
+	return cl
+}
+
+// E1Fig2Outcomes — Figure 2(a) / Example 1: the reachable (x,y) outcome
+// set of the Shasha–Snir two-segment program under sequential
+// consistency. Expected shape: exactly three legal outcomes; one of the
+// four combinations is impossible.
+func E1Fig2Outcomes() *Table {
+	t := &Table{
+		ID:      "E1",
+		Title:   "Fig. 2(a): legal (x,y) outcomes under sequential consistency",
+		Headers: []string{"x", "y", "reachable"},
+	}
+	res := explore.Explore(workloads.Fig2(), explore.Options{Reduction: explore.Full})
+	got := map[[2]int64]bool{}
+	for _, o := range res.OutcomeSet("x", "y") {
+		got[[2]int64{o[0], o[1]}] = true
+	}
+	for _, x := range []int64{0, 1} {
+		for _, y := range []int64{0, 1} {
+			t.AddRow(x, y, got[[2]int64{x, y}])
+		}
+	}
+	t.Note("paper: three of four outcomes legal; the interleaving-impossible one must stay unreachable")
+	t.Note("exploration: %s", res)
+	return t
+}
+
+// E2Fig2Reordered — Figure 2(b): with one segment reordered, the program
+// already reaches every (x,y) combination under sequential consistency,
+// so executing all four statements fully in parallel produces EXACTLY the
+// same outcome set — the parallelization is safe. For the original
+// ordering (a) the same transformation adds an outcome and is refused.
+func E2Fig2Reordered() *Table {
+	t := &Table{
+		ID:      "E2",
+		Title:   "Fig. 2(b): when may the compiler parallelize all four statements?",
+		Headers: []string{"program", "reachable (x,y)", "parallelization safe"},
+	}
+	outcomes := func(p *lang.Program) ([]string, map[string]bool) {
+		res := explore.Explore(p, explore.Options{Reduction: explore.Full})
+		set := map[string]bool{}
+		var strs []string
+		for _, o := range res.OutcomeSet("x", "y") {
+			s := fmt.Sprintf("(%d,%d)", o[0], o[1])
+			set[s] = true
+			strs = append(strs, s)
+		}
+		return strs, set
+	}
+	parStrs, parSet := outcomes(workloads.Fig2FullyParallel())
+	aStrs, aSet := outcomes(workloads.Fig2())
+	bStrs, bSet := outcomes(workloads.Fig2Reordered())
+	t.AddRow("(a) original", strings.Join(aStrs, " "), equalSets(aSet, parSet))
+	t.AddRow("(b) reordered", strings.Join(bStrs, " "), equalSets(bSet, parSet))
+	t.AddRow("fully parallel", strings.Join(parStrs, " "), "-")
+	t.Note("paper: if (b) is the input, the compiler can safely parallelize all four statements; for (a) it cannot")
+
+	// The same verdict derived a second way, from the Shasha–Snir
+	// critical-cycle analysis [SS88]: count the program arcs that must be
+	// enforced with delays.
+	planA := apps.MinimalDelays(collectorFor(workloads.Fig2()), [][]string{{"s1", "s2"}, {"s3", "s4"}})
+	planB := apps.MinimalDelays(collectorFor(workloads.Fig2Reordered()), [][]string{{"s2", "s1"}, {"s3", "s4"}})
+	t.Note("SS88 critical cycles: (a) needs %d delay(s); (b) needs %d — the outcome-set and delay analyses agree",
+		len(planA.Enforced), len(planB.Enforced))
+	return t
+}
+
+func equalSets(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// E3Fig5Stubborn — Figure 5: configuration counts of the four-statement
+// malloc program under full expansion vs. stubborn sets. The paper
+// reports the reduced graph has 13 configurations while producing the
+// same result-configurations.
+func E3Fig5Stubborn() *Table {
+	t := &Table{
+		ID:      "E3",
+		Title:   "Fig. 5: configuration space of the malloc example, full vs. stubborn",
+		Headers: []string{"strategy", "configs", "edges", "result-configs"},
+	}
+	prog := workloads.Fig5Malloc()
+	full := explore.Explore(prog, explore.Options{Reduction: explore.Full})
+	stub := explore.Explore(prog, explore.Options{Reduction: explore.Stubborn})
+	both := explore.Explore(prog, explore.Options{Reduction: explore.Stubborn, Coarsen: true})
+	t.AddRow("full", full.States, full.Edges, len(full.TerminalStoreSet()))
+	t.AddRow("stubborn", stub.States, stub.Edges, len(stub.TerminalStoreSet()))
+	t.AddRow("stubborn+coarsen", both.States, both.Edges, len(both.TerminalStoreSet()))
+	same := equalStrings(full.TerminalStoreSet(), stub.TerminalStoreSet()) &&
+		equalStrings(full.TerminalStoreSet(), both.TerminalStoreSet())
+	t.Note("result-configuration sets identical across strategies: %v (paper: \"exactly the same set\")", same)
+	t.Note("paper reports 13 configurations for its reduced graph at its granularity; shape to check: full ≫ reduced")
+	return t
+}
+
+// E4Philosophers — the [Val88] scaling claim: dining philosophers, full
+// vs. stubborn(+coarsening) state counts as n grows. Expected shape: full
+// grows exponentially (roughly constant multiplicative factor per
+// philosopher), reduced grows polynomially (shrinking factor).
+func E4Philosophers(maxN int) *Table {
+	t := &Table{
+		ID:      "E4",
+		Title:   "dining philosophers: state counts vs. n (Val88 claim: exponential → ~quadratic)",
+		Headers: []string{"n", "full", "full growth", "stubborn+coarsen", "reduced growth", "results equal"},
+	}
+	prevF, prevS := 0, 0
+	for n := 2; n <= maxN; n++ {
+		prog := workloads.Philosophers(n)
+		full := explore.Explore(prog, explore.Options{Reduction: explore.Full, MaxConfigs: 1 << 22})
+		red := explore.Explore(prog, explore.Options{Reduction: explore.Stubborn, Coarsen: true, MaxConfigs: 1 << 22})
+		fg, sg := "-", "-"
+		if prevF > 0 {
+			fg = fmt.Sprintf("%.2fx", float64(full.States)/float64(prevF))
+			sg = fmt.Sprintf("%.2fx", float64(red.States)/float64(prevS))
+		}
+		eq := equalStrings(full.TerminalStoreSet(), red.TerminalStoreSet())
+		t.AddRow(n, full.States, fg, red.States, sg, eq)
+		prevF, prevS = full.States, red.States
+	}
+	return t
+}
+
+// E5Fig3Folding — Figure 3 / §6.1: configuration folding. Abstract
+// configurations (control points after Taylor folding) vs. concrete
+// configurations on the malloc example.
+func E5Fig3Folding() *Table {
+	t := &Table{
+		ID:      "E5",
+		Title:   "Fig. 3/§6.1: configuration folding — concrete vs. abstract configuration counts",
+		Headers: []string{"space", "configs"},
+	}
+	prog := workloads.Fig5Malloc()
+	conc := explore.Explore(prog, explore.Options{Reduction: explore.Full})
+	abs := abssem.Analyze(prog, abssem.Options{Domain: absdom.ConstDomain{}})
+	t.AddRow("concrete (full)", conc.States)
+	t.AddRow("abstract (Taylor-folded)", abs.States)
+	t.Note("the folding merges configurations that differ only in dangling detail (paper: three dangling links merge into one configuration)")
+	return t
+}
+
+// E6ClanFolding — §6.2: process folding. State counts with and without
+// clan folding as the number of identical arms grows. Expected shape:
+// without folding the count grows with n; with folding it is flat.
+func E6ClanFolding(maxN int) *Table {
+	t := &Table{
+		ID:      "E6",
+		Title:   "§6.2: clan folding — abstract states vs. number of identical arms",
+		Headers: []string{"arms", "abstract states", "abstract+clan states"},
+	}
+	for n := 2; n <= maxN; n++ {
+		prog := workloads.ClanWorkers(n)
+		plain := abssem.Analyze(prog, abssem.Options{Domain: absdom.ConstDomain{}})
+		clan := abssem.Analyze(prog, abssem.Options{Domain: absdom.ConstDomain{}, ClanFold: true})
+		t.AddRow(n, plain.States, clan.States)
+	}
+	t.Note("clan = McDowell's abstraction: tasks executing the same statements need not be distinguished or counted")
+	return t
+}
+
+// E7Fig8Parallelize — Figure 8 / Example 15: dependences between four
+// procedure calls and the resulting parallelization.
+func E7Fig8Parallelize() *Table {
+	t := &Table{
+		ID:      "E7",
+		Title:   "Fig. 8: dependences among procedure calls and parallel schedule",
+		Headers: []string{"quantity", "value"},
+	}
+	cl := collectorFor(workloads.Fig8Calls())
+	deps := cl.Dependences("s1", "s2", "s3", "s4")
+	var ds []string
+	for _, d := range deps {
+		ds = append(ds, fmt.Sprintf("(%s,%s):%s", lang.DescribeStmt(d.A), lang.DescribeStmt(d.B), d.Kind))
+	}
+	t.AddRow("dependences", strings.Join(ds, " "))
+	sched := apps.Parallelize(cl, "s1", "s2", "s3", "s4")
+	t.AddRow("schedule", sched.String())
+	plan := apps.PlanDelays(cl, [][]string{{"s1", "s2"}, {"s3", "s4"}})
+	t.AddRow("paper segmentation {s1;s2}||{s3;s4}", fmt.Sprintf("delays=%d acyclic=%v", len(plan.Delays), plan.Acyclic))
+	t.Note("paper: the pairs (s1,s4) and (s2,s3) have dependences; everything else may overlap")
+	return t
+}
+
+// E8MemPlacement — §5.3/§7: memory-hierarchy placement of b1 and b2.
+func E8MemPlacement() *Table {
+	t := &Table{
+		ID:      "E8",
+		Title:   "§7: memory placement — b1 shared level, b2 processor-local",
+		Headers: []string{"object", "verdict"},
+	}
+	cl := collectorFor(workloads.MemPlacement())
+	rep := apps.Placements(cl, "b1", "b2")
+	for _, line := range strings.Split(strings.TrimSpace(rep.String()), "\n") {
+		parts := strings.SplitN(line, ": ", 2)
+		if len(parts) == 2 {
+			t.AddRow(parts[0], parts[1])
+		}
+	}
+	t.Note("paper: b1 should be allocated at a level visible to both processors; b2 can be allocated locally")
+	return t
+}
+
+// E9SideEffects — §5.1: side-effect summaries of the example callees.
+func E9SideEffects() *Table {
+	t := &Table{
+		ID:      "E9",
+		Title:   "§5.1: side-effect summaries",
+		Headers: []string{"function", "side effects"},
+	}
+	prog := workloads.SideEffects()
+	cl := collectorFor(prog)
+	for _, fname := range []string{"writeG", "readG", "pureLocal", "touchArg"} {
+		fn := prog.Func(fname)
+		ents := cl.SideEffects(fn)
+		var parts []string
+		for _, e := range ents {
+			parts = append(parts, fmt.Sprintf("%s:%s", e.Kind, e.Loc.Format(prog)))
+		}
+		if len(parts) == 0 {
+			parts = []string{"(pure)"}
+		}
+		t.AddRow(fname, strings.Join(parts, " "))
+	}
+	t.Note("objects created during an activation are not side effects of it; globals and caller-born objects are")
+	return t
+}
+
+// E10Coarsening — Observation 5: virtual coarsening ablation on
+// mixed local/shared workloads.
+func E10Coarsening() *Table {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Observation 5: virtual coarsening — state counts with and without",
+		Headers: []string{"workload", "plain", "coarsened", "results equal"},
+	}
+	cases := map[string]*lang.Program{
+		"workers(2,4)":  workloads.IndependentWorkers(2, 4),
+		"workers(3,3)":  workloads.IndependentWorkers(3, 3),
+		"philosophers3": workloads.Philosophers(3),
+	}
+	for _, name := range []string{"workers(2,4)", "workers(3,3)", "philosophers3"} {
+		prog := cases[name]
+		plain := explore.Explore(prog, explore.Options{Reduction: explore.Full, MaxConfigs: 1 << 21})
+		coarse := explore.Explore(prog, explore.Options{Reduction: explore.Full, Coarsen: true, MaxConfigs: 1 << 21})
+		eq := equalStrings(plain.TerminalStoreSet(), coarse.TerminalStoreSet())
+		t.AddRow(name, plain.States, coarse.States, eq)
+	}
+	return t
+}
+
+// E11OptSafety — the introduction's busy-wait example: the optimizer
+// oracle must refuse the transformations that break parallel programs and
+// allow them on the sequential analogue.
+func E11OptSafety() *Table {
+	t := &Table{
+		ID:      "E11",
+		Title:   "§1: optimization safety — busy-wait loop",
+		Headers: []string{"query", "verdict"},
+	}
+	prog := workloads.BusyWait()
+	oracle := apps.NewOracle(prog, abssem.Analyze(prog, abssem.Options{}))
+	t.AddRow("hoist load of flag out of c1", oracle.HoistLoad("c1", "flag").String())
+	t.AddRow("const-prop flag at c1", oracle.ConstProp("c1", "flag").String())
+
+	seq := lang.MustParse(`
+var lim = 10; var n;
+func main() {
+  var i = 0;
+  loop: while i < lim { i = i + 1; }
+  n = i;
+}
+`)
+	seqOracle := apps.NewOracle(seq, abssem.Analyze(seq, abssem.Options{}))
+	t.AddRow("sequential: hoist load of lim out of loop", seqOracle.HoistLoad("loop", "lim").String())
+	t.AddRow("sequential: const-prop lim at loop", seqOracle.ConstProp("loop", "lim").String())
+	t.Note("paper: moving the load of a concurrently-written flag out of the loop makes the busy-wait never succeed")
+	return t
+}
+
+// E12Ablation — full reduction matrix: every combination of stubborn
+// sets, coarsening, and granularity on two workloads; all must agree on
+// the result-configuration set.
+func E12Ablation(small bool) *Table {
+	t := &Table{
+		ID:      "E12",
+		Title:   "ablation: reduction × coarsening × granularity",
+		Headers: []string{"workload", "reduction", "coarsen", "granularity", "states", "edges", "results equal to full"},
+	}
+	philoN := 4
+	if small {
+		philoN = 3
+	}
+	progs := []struct {
+		name string
+		p    *lang.Program
+	}{
+		{fmt.Sprintf("philosophers%d", philoN), workloads.Philosophers(philoN)},
+		{"workers(3,2)", workloads.IndependentWorkers(3, 2)},
+	}
+	for _, w := range progs {
+		base := explore.Explore(w.p, explore.Options{Reduction: explore.Full, MaxConfigs: 1 << 22})
+		want := base.TerminalStoreSet()
+		for _, red := range []explore.Reduction{explore.Full, explore.Stubborn} {
+			for _, co := range []bool{false, true} {
+				res := base
+				if !(red == explore.Full && !co) {
+					res = explore.Explore(w.p, explore.Options{Reduction: red, Coarsen: co, MaxConfigs: 1 << 22})
+				}
+				t.AddRow(w.name, red.String(), co, "ref", res.States, res.Edges,
+					equalStrings(res.TerminalStoreSet(), want))
+			}
+		}
+		// Statement granularity (coarser model; outcome set may legally
+		// shrink, so "results equal" is reported but not required).
+		gs := explore.Explore(w.p, explore.Options{Reduction: explore.Full, Granularity: sem.GranStmt, MaxConfigs: 1 << 22})
+		t.AddRow(w.name, "full", false, "stmt", gs.States, gs.Edges, equalStrings(gs.TerminalStoreSet(), want))
+	}
+	return t
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

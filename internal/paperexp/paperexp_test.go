@@ -1,0 +1,288 @@
+package paperexp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestE1ShapeMatchesPaper(t *testing.T) {
+	tab := E1Fig2Outcomes()
+	reachable := 0
+	var unreachable []string
+	for _, row := range tab.Rows {
+		if row[2] == "true" {
+			reachable++
+		} else {
+			unreachable = append(unreachable, row[0]+","+row[1])
+		}
+	}
+	if reachable != 3 {
+		t.Errorf("%d reachable outcomes, want 3:\n%s", reachable, tab)
+	}
+	if len(unreachable) != 1 {
+		t.Errorf("want exactly one impossible outcome, got %v", unreachable)
+	}
+}
+
+func TestE2AllParallelizable(t *testing.T) {
+	tab := E2Fig2Reordered()
+	verdicts := map[string]string{}
+	for _, row := range tab.Rows {
+		verdicts[row[0]] = row[2]
+	}
+	if verdicts["(a) original"] != "false" {
+		t.Errorf("(a): parallelization must be unsafe, got %q:\n%s", verdicts["(a) original"], tab)
+	}
+	if verdicts["(b) reordered"] != "true" {
+		t.Errorf("(b): parallelization must be safe, got %q:\n%s", verdicts["(b) reordered"], tab)
+	}
+}
+
+func TestE3StubbornReducesAndPreserves(t *testing.T) {
+	tab := E3Fig5Stubborn()
+	var full, stub int
+	var results []string
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "full":
+			full = atoi(t, row[1])
+			results = append(results, row[3])
+		case "stubborn":
+			stub = atoi(t, row[1])
+			results = append(results, row[3])
+		}
+	}
+	if stub >= full {
+		t.Errorf("stubborn %d not below full %d", stub, full)
+	}
+	if len(results) == 2 && results[0] != results[1] {
+		t.Errorf("result-config counts differ: %v", results)
+	}
+	if !strings.Contains(strings.Join(tab.Notes, " "), "identical across strategies: true") {
+		t.Errorf("result sets must be identical:\n%s", tab)
+	}
+}
+
+func TestE4GrowthShape(t *testing.T) {
+	tab := E4Philosophers(4)
+	// Last row: reduced growth must be below full growth.
+	last := tab.Rows[len(tab.Rows)-1]
+	fg := parseGrowth(t, last[2])
+	sg := parseGrowth(t, last[4])
+	if sg >= fg {
+		t.Errorf("reduced growth %.2f not below full growth %.2f:\n%s", sg, fg, tab)
+	}
+	for _, row := range tab.Rows {
+		if row[5] != "true" {
+			t.Errorf("result sets differ at n=%s", row[0])
+		}
+	}
+}
+
+func TestE5FoldingReduces(t *testing.T) {
+	tab := E5Fig3Folding()
+	conc := atoi(t, tab.Rows[0][1])
+	abs := atoi(t, tab.Rows[1][1])
+	if abs >= conc {
+		t.Errorf("abstract %d not below concrete %d", abs, conc)
+	}
+}
+
+func TestE6ClanFlat(t *testing.T) {
+	tab := E6ClanFolding(5)
+	first := atoi(t, tab.Rows[0][2])
+	for _, row := range tab.Rows {
+		if got := atoi(t, row[2]); got != first {
+			t.Errorf("clan-folded states vary with arm count: %s vs %d", row[2], first)
+		}
+		plain := atoi(t, row[1])
+		clan := atoi(t, row[2])
+		if n := row[0]; n != "2" && clan >= plain {
+			t.Errorf("n=%s: clan %d not below plain %d", n, clan, plain)
+		}
+	}
+}
+
+func TestE7DependencePairs(t *testing.T) {
+	tab := E7Fig8Parallelize()
+	var deps, sched string
+	for _, row := range tab.Rows {
+		if row[0] == "dependences" {
+			deps = row[1]
+		}
+		if row[0] == "schedule" {
+			sched = row[1]
+		}
+	}
+	if !strings.Contains(deps, "(s1,s4)") || !strings.Contains(deps, "(s2,s3)") {
+		t.Errorf("dependences = %q, want (s1,s4) and (s2,s3)", deps)
+	}
+	if !strings.Contains(sched, "||") {
+		t.Errorf("schedule should be parallel: %q", sched)
+	}
+}
+
+func TestE8Placement(t *testing.T) {
+	tab := E8MemPlacement()
+	var b1, b2 string
+	for _, row := range tab.Rows {
+		if row[0] == "b1" {
+			b1 = row[1]
+		}
+		if row[0] == "b2" {
+			b2 = row[1]
+		}
+	}
+	if !strings.Contains(b1, "shared") {
+		t.Errorf("b1 = %q, want shared", b1)
+	}
+	if !strings.Contains(b2, "local") {
+		t.Errorf("b2 = %q, want local", b2)
+	}
+}
+
+func TestE9PureFunction(t *testing.T) {
+	tab := E9SideEffects()
+	for _, row := range tab.Rows {
+		if row[0] == "pureLocal" && row[1] != "(pure)" {
+			t.Errorf("pureLocal effects = %q, want pure", row[1])
+		}
+		if row[0] == "writeG" && !strings.Contains(row[1], "W:") {
+			t.Errorf("writeG effects = %q, want a write", row[1])
+		}
+	}
+}
+
+func TestE10CoarseningPreserves(t *testing.T) {
+	tab := E10Coarsening()
+	for _, row := range tab.Rows {
+		if row[3] != "true" {
+			t.Errorf("%s: coarsening changed results", row[0])
+		}
+		if atoi(t, row[2]) >= atoi(t, row[1]) {
+			t.Errorf("%s: coarsening did not reduce (%s vs %s)", row[0], row[2], row[1])
+		}
+	}
+}
+
+func TestE11OracleShape(t *testing.T) {
+	tab := E11OptSafety()
+	for _, row := range tab.Rows {
+		q, v := row[0], row[1]
+		if strings.HasPrefix(q, "hoist load of flag") && !strings.HasPrefix(v, "UNSAFE") {
+			t.Errorf("%s: %s, want UNSAFE", q, v)
+		}
+		if strings.HasPrefix(q, "sequential: hoist") && !strings.HasPrefix(v, "SAFE") {
+			t.Errorf("%s: %s, want SAFE", q, v)
+		}
+		if strings.HasPrefix(q, "sequential: const-prop") && !strings.HasPrefix(v, "SAFE") {
+			t.Errorf("%s: %s, want SAFE", q, v)
+		}
+	}
+}
+
+func TestE12AllReductionsAgree(t *testing.T) {
+	tab := E12Ablation(true)
+	for _, row := range tab.Rows {
+		if row[3] == "ref" && row[6] != "true" {
+			t.Errorf("%s %s coarsen=%s: results differ from full", row[0], row[1], row[2])
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "X", Title: "t", Headers: []string{"a", "bb"}}
+	tab.AddRow(1, "x")
+	tab.Note("n%d", 1)
+	out := tab.String()
+	for _, want := range []string{"== X: t ==", "a", "bb", "1", "x", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness in -short mode")
+	}
+	tables := All(true)
+	if len(tables) != 15 {
+		t.Fatalf("%d tables, want 12", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s has no rows", tab.ID)
+		}
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("not a number: %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func parseGrowth(t *testing.T, s string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+	if err != nil {
+		t.Fatalf("bad growth %q: %v", s, err)
+	}
+	return f
+}
+
+func TestE13KLimitPrecision(t *testing.T) {
+	tab := E13KLimit()
+	byK := map[string]string{}
+	for _, row := range tab.Rows {
+		byK[row[0]] = row[4]
+	}
+	if byK["1"] != "false" {
+		t.Errorf("k=1 should fold the objects (imprecise), got %q:\n%s", byK["1"], tab)
+	}
+	if byK["2"] != "true" || byK["4"] != "true" {
+		t.Errorf("k>=2 should distinguish the objects:\n%s", tab)
+	}
+}
+
+func TestE14CanonReduces(t *testing.T) {
+	tab := E14Canonicalization()
+	for _, row := range tab.Rows {
+		canon := atoi(t, row[1])
+		raw := atoi(t, row[2])
+		if raw < canon {
+			t.Errorf("%s: raw %d below canonical %d (renaming can only merge)", row[0], raw, canon)
+		}
+	}
+	// At least one workload must show actual inflation.
+	inflated := false
+	for _, row := range tab.Rows {
+		if atoi(t, row[2]) > atoi(t, row[1]) {
+			inflated = true
+		}
+	}
+	if !inflated {
+		t.Errorf("no workload showed inflation without canonicalization:\n%s", tab)
+	}
+}
+
+func TestE15Restructure(t *testing.T) {
+	tab := E15Restructure()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("want 2 rows:\n%s", tab)
+	}
+	if tab.Rows[0][3] != "true" {
+		t.Errorf("dependence-respecting restructuring must be equivalent:\n%s", tab)
+	}
+	if tab.Rows[1][3] != "false" {
+		t.Errorf("dependence-violating restructuring must be detected:\n%s", tab)
+	}
+}

@@ -1,0 +1,265 @@
+// Package pstring implements procedure strings [Har89], the device the
+// paper's instrumented semantics uses to record procedural and concurrency
+// movements: entering/exiting a procedure and entering/exiting a cobegin
+// thread. Each dynamically allocated object records the procedure string
+// at its creation (its "birthdate"); comparing birthdates with the strings
+// at later references yields side effects, data dependences between
+// threads, and object lifetimes (paper §5).
+//
+// A procedure string is kept in netted (canceled) form as a path in the
+// activation tree: exits simply pop the matched entry. Full histories are
+// never materialized; every live string is a pointer into a shared tree,
+// so prefix tests, lowest-common-ancestor walks, and the
+// concurrency/extent predicates are O(depth).
+package pstring
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SymKind distinguishes the two kinds of entry symbols.
+type SymKind uint8
+
+// Symbol kinds.
+const (
+	// SymCall is a procedure entry (call site → callee).
+	SymCall SymKind = iota
+	// SymThread is a cobegin-arm entry (cobegin site → arm index).
+	SymThread
+)
+
+func (k SymKind) String() string {
+	if k == SymThread {
+		return "thread"
+	}
+	return "call"
+}
+
+// Sym is one entry symbol of the procedure-string alphabet.
+type Sym struct {
+	Kind SymKind
+	// Site is the NodeID of the call statement or cobegin statement.
+	Site int
+	// Which identifies the callee function index (SymCall) or arm index
+	// (SymThread).
+	Which int
+	// Inst is a per-execution instance number making every dynamic entry
+	// unique: recursion and loop iterations produce distinct symbols.
+	Inst uint64
+}
+
+// P is a procedure string in netted form: a path of entry symbols from the
+// program start (the root, nil) to the current activation. Values are
+// immutable; Push returns a new string sharing its parent's structure.
+type P struct {
+	parent *P
+	sym    Sym
+	depth  int
+}
+
+// Root is the empty procedure string: execution at the start of main,
+// before any call or cobegin.
+var Root *P
+
+// Push returns p extended with sym (entering a procedure or thread).
+func Push(p *P, sym Sym) *P {
+	d := 1
+	if p != nil {
+		d = p.depth + 1
+	}
+	return &P{parent: p, sym: sym, depth: d}
+}
+
+// Pop returns p with its innermost entry removed (exiting a procedure or
+// thread); the exit symbol cancels against the matched entry, which is
+// exactly netting. Pop of the root panics: it indicates a semantics bug.
+func Pop(p *P) *P {
+	if p == nil {
+		panic("pstring: Pop of root (unmatched exit)")
+	}
+	return p.parent
+}
+
+// Depth returns the number of entries on the path (0 for Root).
+func Depth(p *P) int {
+	if p == nil {
+		return 0
+	}
+	return p.depth
+}
+
+// Top returns the innermost symbol; ok is false at the root.
+func Top(p *P) (sym Sym, ok bool) {
+	if p == nil {
+		return Sym{}, false
+	}
+	return p.sym, true
+}
+
+// Syms returns the symbols from outermost to innermost.
+func Syms(p *P) []Sym {
+	out := make([]Sym, Depth(p))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = p.sym
+		p = p.parent
+	}
+	return out
+}
+
+// IsPrefix reports whether a is an ancestor of (or equal to) b in the
+// activation tree: the activation denoted by a was still live when b was
+// current. Instance numbers make this exact under recursion.
+func IsPrefix(a, b *P) bool {
+	for Depth(b) > Depth(a) {
+		b = b.parent
+	}
+	return a == b
+}
+
+// LCA returns the lowest common ancestor of a and b.
+func LCA(a, b *P) *P {
+	for Depth(a) > Depth(b) {
+		a = a.parent
+	}
+	for Depth(b) > Depth(a) {
+		b = b.parent
+	}
+	for a != b {
+		a, b = a.parent, b.parent
+	}
+	return a
+}
+
+// childToward returns the child of anc on the path to p, requiring that
+// anc is a strict ancestor of p.
+func childToward(anc, p *P) *P {
+	var prev *P
+	for p != anc {
+		prev = p
+		p = p.parent
+	}
+	return prev
+}
+
+// Concurrent reports whether two points (given by their procedure strings
+// within one execution) may run in parallel: their paths diverge, and the
+// divergence happens at two different arms of the same dynamic cobegin
+// instance. Divergence at sequential calls means the points are ordered.
+func Concurrent(a, b *P) bool {
+	if a == b {
+		return false
+	}
+	l := LCA(a, b)
+	if l == a || l == b {
+		// One is an ancestor of the other: same thread lineage.
+		return false
+	}
+	ca, cb := childToward(l, a), childToward(l, b)
+	return ca.sym.Kind == SymThread && cb.sym.Kind == SymThread &&
+		ca.sym.Site == cb.sym.Site && ca.sym.Inst == cb.sym.Inst &&
+		ca.sym.Which != cb.sym.Which
+}
+
+// Relative computes the netted relative string from a to b, in the sense
+// of [Har89]: the exits needed to climb from a to LCA(a,b) followed by the
+// entries descending to b. Exits are reported as the symbols being exited,
+// outermost last.
+func Relative(a, b *P) (exits, entries []Sym) {
+	l := LCA(a, b)
+	for p := a; p != l; p = p.parent {
+		exits = append(exits, p.sym)
+	}
+	var down []Sym
+	for p := b; p != l; p = p.parent {
+		down = append(down, p.sym)
+	}
+	for i, j := 0, len(down)-1; i < j; i, j = i+1, j-1 {
+		down[i], down[j] = down[j], down[i]
+	}
+	return exits, down
+}
+
+// EnclosingThread returns the innermost thread-entry node of p (nil if p
+// is in the initial thread). Two points are in the same thread iff their
+// EnclosingThread chains are equal; for placement analysis the identity of
+// the innermost thread entry is the processor context.
+func EnclosingThread(p *P) *P {
+	for q := p; q != nil; q = q.parent {
+		if q.sym.Kind == SymThread {
+			return q
+		}
+	}
+	return nil
+}
+
+// EnclosingCall returns the innermost call-entry node of p whose callee is
+// fnIndex, or nil.
+func EnclosingCall(p *P, fnIndex int) *P {
+	for q := p; q != nil; q = q.parent {
+		if q.sym.Kind == SymCall && q.sym.Which == fnIndex {
+			return q
+		}
+	}
+	return nil
+}
+
+// String renders p like "call@12→f0 · thread@7.1" outermost first.
+func (p *P) String() string {
+	if p == nil {
+		return "ε"
+	}
+	syms := Syms(p)
+	parts := make([]string, len(syms))
+	for i, s := range syms {
+		switch s.Kind {
+		case SymThread:
+			parts[i] = fmt.Sprintf("t%d.%d#%d", s.Site, s.Which, s.Inst)
+		default:
+			parts[i] = fmt.Sprintf("c%d→f%d#%d", s.Site, s.Which, s.Inst)
+		}
+	}
+	return strings.Join(parts, "·")
+}
+
+// Abstract is a k-limited, instance-stripped abstraction of a procedure
+// string: the last (innermost) k (site, which, kind) triples. It is the
+// folding the paper applies to birthdates so that the set of abstract
+// locations stays finite (§6). The zero k yields the single abstract
+// string "" (all birthdates folded together).
+func Abstract(p *P, k int) string {
+	if k <= 0 || p == nil {
+		return ""
+	}
+	var b strings.Builder
+	n := 0
+	for q := p; q != nil && n < k; q = q.parent {
+		if n > 0 {
+			b.WriteByte('·')
+		}
+		fmt.Fprintf(&b, "%d:%d:%d", int(q.sym.Kind), q.sym.Site, q.sym.Which)
+		n++
+	}
+	return b.String()
+}
+
+// AbstractSyms abstracts an outermost-first symbol slice exactly like
+// Abstract abstracts a netted string: the innermost k symbols,
+// instance-stripped. The abstract interpreter keeps its procedure strings
+// as plain slices and must fold birthdates into the same abstract space
+// as the concrete instrumentation, so the two functions share the format.
+func AbstractSyms(syms []Sym, k int) string {
+	if k <= 0 || len(syms) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	n := 0
+	for i := len(syms) - 1; i >= 0 && n < k; i-- {
+		if n > 0 {
+			b.WriteByte('·')
+		}
+		fmt.Fprintf(&b, "%d:%d:%d", int(syms[i].Kind), syms[i].Site, syms[i].Which)
+		n++
+	}
+	return b.String()
+}

@@ -1,0 +1,307 @@
+package pstring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var instCounter uint64
+
+func call(p *P, site, fn int) *P {
+	instCounter++
+	return Push(p, Sym{Kind: SymCall, Site: site, Which: fn, Inst: instCounter})
+}
+
+func thread(p *P, site, arm int, inst uint64) *P {
+	return Push(p, Sym{Kind: SymThread, Site: site, Which: arm, Inst: inst})
+}
+
+func TestPushPopDepth(t *testing.T) {
+	p := Root
+	if Depth(p) != 0 {
+		t.Fatalf("root depth = %d", Depth(p))
+	}
+	p = call(p, 1, 0)
+	p = call(p, 2, 1)
+	if Depth(p) != 2 {
+		t.Fatalf("depth = %d, want 2", Depth(p))
+	}
+	p = Pop(p)
+	if Depth(p) != 1 {
+		t.Fatalf("depth after pop = %d, want 1", Depth(p))
+	}
+	if sym, ok := Top(p); !ok || sym.Site != 1 {
+		t.Errorf("top = %v, %v", sym, ok)
+	}
+	p = Pop(p)
+	if p != Root {
+		t.Error("pop did not return to root")
+	}
+}
+
+func TestPopRootPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop(Root) should panic")
+		}
+	}()
+	Pop(Root)
+}
+
+func TestNettingPushPopIdentity(t *testing.T) {
+	// Entering then exiting any sequence returns exactly the original
+	// string (netting cancels matched pairs).
+	f := func(sites []uint8) bool {
+		base := call(Root, 99, 0)
+		p := base
+		for _, s := range sites {
+			p = call(p, int(s), 0)
+		}
+		for range sites {
+			p = Pop(p)
+		}
+		return p == base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPrefix(t *testing.T) {
+	a := call(Root, 1, 0)
+	b := call(a, 2, 1)
+	c := call(b, 3, 2)
+	if !IsPrefix(a, c) || !IsPrefix(Root, c) || !IsPrefix(c, c) {
+		t.Error("ancestor relations broken")
+	}
+	if IsPrefix(c, a) {
+		t.Error("descendant is not a prefix")
+	}
+	// Recursion: two distinct activations of the same function at the same
+	// site are different nodes.
+	r1 := call(Root, 5, 3)
+	r2 := call(Root, 5, 3)
+	if IsPrefix(r1, r2) || IsPrefix(r2, r1) {
+		t.Error("distinct instances must not be prefixes of each other")
+	}
+}
+
+func TestConcurrentSiblingArms(t *testing.T) {
+	base := call(Root, 1, 0)
+	t0 := thread(base, 10, 0, 7)
+	t1 := thread(base, 10, 1, 7)
+	if !Concurrent(t0, t1) {
+		t.Error("sibling arms of the same cobegin instance should be concurrent")
+	}
+	// Deeper points under each arm remain concurrent.
+	d0 := call(t0, 2, 1)
+	d1 := call(call(t1, 3, 2), 4, 1)
+	if !Concurrent(d0, d1) {
+		t.Error("descendants of sibling arms should be concurrent")
+	}
+}
+
+func TestNotConcurrentLineage(t *testing.T) {
+	base := call(Root, 1, 0)
+	t0 := thread(base, 10, 0, 7)
+	inner := call(t0, 2, 1)
+	if Concurrent(t0, inner) || Concurrent(base, inner) || Concurrent(inner, inner) {
+		t.Error("ancestor/descendant or equal points are never concurrent")
+	}
+}
+
+func TestNotConcurrentSequentialCalls(t *testing.T) {
+	base := call(Root, 1, 0)
+	c1 := call(base, 2, 1)
+	c2 := call(base, 3, 2)
+	if Concurrent(c1, c2) {
+		t.Error("two sequential calls from the same activation are ordered, not concurrent")
+	}
+}
+
+func TestNotConcurrentDifferentCobeginInstances(t *testing.T) {
+	// The same cobegin statement executed twice (e.g. in a loop): arm 0 of
+	// instance 1 and arm 1 of instance 2 are NOT concurrent.
+	base := call(Root, 1, 0)
+	a := thread(base, 10, 0, 1)
+	b := thread(base, 10, 1, 2)
+	if Concurrent(a, b) {
+		t.Error("arms of different dynamic instances are sequential")
+	}
+}
+
+func TestConcurrentNestedCobegin(t *testing.T) {
+	base := call(Root, 1, 0)
+	outer0 := thread(base, 10, 0, 1)
+	outer1 := thread(base, 10, 1, 1)
+	inner0 := thread(outer0, 20, 0, 2)
+	inner1 := thread(outer0, 20, 1, 2)
+	if !Concurrent(inner0, inner1) {
+		t.Error("nested sibling arms concurrent")
+	}
+	if !Concurrent(inner0, outer1) {
+		t.Error("nested arm concurrent with outer sibling arm")
+	}
+}
+
+func TestConcurrentSymmetricIrreflexive(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	// Build a random activation tree and check symmetry on all node pairs.
+	nodes := []*P{Root}
+	for i := 0; i < 60; i++ {
+		parent := nodes[r.Intn(len(nodes))]
+		if r.Intn(2) == 0 {
+			nodes = append(nodes, call(parent, r.Intn(5), r.Intn(3)))
+		} else {
+			inst := uint64(r.Intn(4))
+			site := 100 + r.Intn(3)
+			arm0 := thread(parent, site, 0, inst)
+			arm1 := thread(parent, site, 1, inst)
+			nodes = append(nodes, arm0, arm1)
+		}
+	}
+	for _, a := range nodes {
+		if Concurrent(a, a) {
+			t.Fatal("Concurrent not irreflexive")
+		}
+		for _, b := range nodes {
+			if Concurrent(a, b) != Concurrent(b, a) {
+				t.Fatalf("Concurrent not symmetric for %s / %s", a, b)
+			}
+		}
+	}
+}
+
+func TestLCA(t *testing.T) {
+	base := call(Root, 1, 0)
+	l := call(base, 2, 1)
+	rgt := call(base, 3, 2)
+	deep := call(call(l, 4, 1), 5, 2)
+	if got := LCA(deep, rgt); got != base {
+		t.Errorf("LCA = %s, want base", got)
+	}
+	if got := LCA(deep, l); got != l {
+		t.Errorf("LCA with ancestor = %s, want the ancestor", got)
+	}
+	if got := LCA(Root, deep); got != Root {
+		t.Error("LCA with root should be root")
+	}
+}
+
+func TestRelative(t *testing.T) {
+	base := call(Root, 1, 0)
+	a := call(call(base, 2, 1), 3, 2)
+	b := call(base, 4, 3)
+	exits, entries := Relative(a, b)
+	if len(exits) != 2 || exits[0].Site != 3 || exits[1].Site != 2 {
+		t.Errorf("exits = %v", exits)
+	}
+	if len(entries) != 1 || entries[0].Site != 4 {
+		t.Errorf("entries = %v", entries)
+	}
+	// Relative to itself: empty both ways.
+	exits, entries = Relative(a, a)
+	if len(exits) != 0 || len(entries) != 0 {
+		t.Error("self-relative should be empty")
+	}
+}
+
+func TestEnclosingThread(t *testing.T) {
+	base := call(Root, 1, 0)
+	if EnclosingThread(base) != nil {
+		t.Error("initial thread has no enclosing thread entry")
+	}
+	t0 := thread(base, 10, 0, 1)
+	deep := call(t0, 2, 1)
+	if EnclosingThread(deep) != t0 {
+		t.Error("wrong enclosing thread")
+	}
+	inner := thread(deep, 20, 1, 2)
+	if EnclosingThread(inner) != inner {
+		t.Error("a thread entry is its own enclosing thread")
+	}
+}
+
+func TestEnclosingCall(t *testing.T) {
+	base := call(Root, 1, 7)
+	deep := call(call(base, 2, 8), 3, 9)
+	if got := EnclosingCall(deep, 7); got != base {
+		t.Error("did not find outer activation of f7")
+	}
+	if got := EnclosingCall(deep, 42); got != nil {
+		t.Error("found activation of uncalled function")
+	}
+}
+
+func TestSyms(t *testing.T) {
+	p := call(call(Root, 1, 0), 2, 1)
+	syms := Syms(p)
+	if len(syms) != 2 || syms[0].Site != 1 || syms[1].Site != 2 {
+		t.Errorf("Syms = %v", syms)
+	}
+	if len(Syms(Root)) != 0 {
+		t.Error("Syms(Root) should be empty")
+	}
+}
+
+func TestAbstractKLimiting(t *testing.T) {
+	p := Root
+	for i := 1; i <= 5; i++ {
+		p = call(p, i, i)
+	}
+	a2 := Abstract(p, 2)
+	a5 := Abstract(p, 5)
+	aBig := Abstract(p, 100)
+	if a2 == a5 {
+		t.Error("k=2 and k=5 abstractions should differ on a depth-5 string")
+	}
+	if a5 != aBig {
+		t.Error("k beyond depth should not change the abstraction")
+	}
+	if Abstract(p, 0) != "" || Abstract(Root, 3) != "" {
+		t.Error("k=0 or root should abstract to empty string")
+	}
+}
+
+func TestAbstractStripsInstances(t *testing.T) {
+	// Two activations of the same site differ concretely but abstract
+	// identically.
+	p1 := call(Root, 9, 2)
+	p2 := call(Root, 9, 2)
+	if p1 == p2 {
+		t.Fatal("distinct concrete instances expected")
+	}
+	if Abstract(p1, 3) != Abstract(p2, 3) {
+		t.Error("abstraction should fold instances")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if Root.String() != "ε" {
+		t.Errorf("root renders as %q", Root.String())
+	}
+	p := thread(call(Root, 1, 0), 10, 1, 3)
+	s := p.String()
+	if s == "" || s == "ε" {
+		t.Errorf("unexpected rendering %q", s)
+	}
+}
+
+func TestQuickPrefixTransitive(t *testing.T) {
+	// Random chains: prefix is transitive along any lineage.
+	f := func(depths [3]uint8) bool {
+		p := Root
+		var marks []*P
+		for i, d := range depths {
+			for j := 0; j <= int(d)%7; j++ {
+				p = call(p, i*10+j, 0)
+			}
+			marks = append(marks, p)
+		}
+		return IsPrefix(marks[0], marks[1]) && IsPrefix(marks[1], marks[2]) && IsPrefix(marks[0], marks[2])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

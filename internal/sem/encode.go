@@ -1,0 +1,211 @@
+package sem
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Key is the canonical identity of a configuration. Configurations with
+// equal Keys are semantically identical up to heap-address renaming and
+// instrumentation history, so exploration merges them.
+type Key string
+
+// Encode produces the canonical Key:
+//
+//   - processes in path order: status, frames (function, return dest,
+//     block positions, local values);
+//   - globals in order;
+//   - heap objects in FIRST-REFERENCE order over a deterministic scan,
+//     renamed to dense canonical ids — two configurations that differ only
+//     in allocation numbering encode identically;
+//   - unreachable heap objects are skipped entirely (garbage cannot
+//     influence any future behaviour), giving state-identity GC for free;
+//   - procedure strings, instance counters, and allocation counters are
+//     excluded: they are instrumentation, not semantics.
+//
+// An error configuration encodes its message (all error states with the
+// same message merge).
+//
+// Encoding is the hot loop of exploration (every generated successor is
+// keyed), so it appends into a pre-sized byte buffer rather than using
+// fmt machinery.
+func (c *Config) Encode() Key { return c.encode(true) }
+
+// EncodeNoCanon is the ablation variant of Encode: heap allocation ids
+// are NOT renamed (and unreachable objects are retained), so
+// configurations that differ only in allocation numbering or garbage stay
+// distinct. Exploration under this key shows what the canonicalization
+// buys (DESIGN.md §5).
+func (c *Config) EncodeNoCanon() Key { return c.encode(false) }
+
+func (c *Config) encode(canon bool) Key {
+	enc := &encoder{cfg: c, b: make([]byte, 0, 256), canon: canon}
+	if c.Err != "" {
+		enc.str("ERR:")
+		enc.str(c.Err)
+		enc.byte('@')
+		enc.num(int64(c.ErrStmt))
+		return Key(enc.b)
+	}
+	for _, p := range c.Procs {
+		enc.byte('P')
+		enc.str(p.Path)
+		enc.byte(':')
+		enc.byte(byte('0' + p.Status))
+		enc.num(int64(p.LiveKids))
+		for _, f := range p.Frames {
+			enc.str("|f")
+			enc.num(int64(f.Fn.Index))
+			enc.byte(',')
+			enc.byte(byte('0' + f.Dest.kind))
+			switch f.Dest.kind {
+			case retLocal:
+				enc.num(int64(f.Dest.slot))
+			case retLoc:
+				enc.loc(f.Dest.loc)
+			}
+			for _, bp := range f.Blocks {
+				enc.str(";b")
+				enc.num(int64(bp.block.NodeID()))
+				enc.byte('.')
+				enc.num(int64(bp.idx))
+			}
+			if f.pending != nil {
+				enc.str(";!")
+				enc.num(int64(f.pending.stmt))
+				enc.byte(byte('0' + f.pending.dest.kind))
+				switch f.pending.dest.kind {
+				case retLocal:
+					enc.num(int64(f.pending.dest.slot))
+				case retLoc:
+					enc.loc(f.pending.dest.loc)
+				}
+				enc.value(f.pending.val)
+			}
+			enc.str(";L")
+			for _, v := range f.Locals {
+				enc.value(v)
+			}
+		}
+		enc.byte('\n')
+	}
+	enc.str("G:")
+	for _, v := range c.Globals {
+		enc.value(v)
+	}
+	// Heap objects already referenced above were renamed and queued; their
+	// cells may reference further objects, breadth-first. Without
+	// canonicalization every live object is encoded, in raw-id order.
+	enc.str("H:")
+	if !canon {
+		ids := make([]int, 0, len(c.Heap))
+		for id := range c.Heap {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		enc.order = ids
+	}
+	for i := 0; i < len(enc.order); i++ {
+		id := enc.order[i]
+		obj := c.Heap[id]
+		enc.byte('o')
+		if !canon {
+			enc.num(int64(id))
+			enc.byte('@')
+		}
+		enc.num(int64(obj.Site))
+		enc.byte('#')
+		enc.num(int64(len(obj.Cells)))
+		enc.byte('[')
+		for _, v := range obj.Cells {
+			enc.value(v)
+		}
+		enc.byte(']')
+	}
+	return Key(enc.b)
+}
+
+type encoder struct {
+	cfg    *Config
+	b      []byte
+	rename map[int]int
+	order  []int
+	canon  bool
+}
+
+func (e *encoder) byte(c byte)  { e.b = append(e.b, c) }
+func (e *encoder) str(s string) { e.b = append(e.b, s...) }
+func (e *encoder) num(n int64)  { e.b = strconv.AppendInt(e.b, n, 10) }
+
+// canonID returns the canonical id for a heap allocation, assigning the
+// next dense id (and queueing the object for cell encoding) on first
+// sight. Dangling references (freed objects) keep their raw id, tagged so
+// they cannot collide with canonical ids. In no-canon mode raw ids pass
+// through untouched.
+func (e *encoder) canonID(alloc int) (int, bool) {
+	_, live := e.cfg.Heap[alloc]
+	if !e.canon {
+		return alloc, live
+	}
+	if e.rename == nil {
+		e.rename = make(map[int]int, len(e.cfg.Heap))
+	}
+	if id, ok := e.rename[alloc]; ok {
+		return id, true
+	}
+	if !live {
+		return alloc, false
+	}
+	id := len(e.order)
+	e.rename[alloc] = id
+	e.order = append(e.order, alloc)
+	return id, true
+}
+
+func (e *encoder) loc(l Loc) {
+	if l.Space == SpaceGlobal {
+		e.byte('g')
+		e.num(int64(l.Base))
+		return
+	}
+	id, live := e.canonID(l.Base)
+	if live {
+		e.byte('h')
+	} else {
+		e.byte('d') // dangling
+	}
+	e.num(int64(id))
+	e.byte('+')
+	e.num(int64(l.Off))
+}
+
+func (e *encoder) value(v Value) {
+	switch v.Kind {
+	case KindUndef:
+		e.str("u,")
+	case KindInt:
+		e.byte('i')
+		e.num(v.N)
+		e.byte(',')
+	case KindPtr:
+		e.byte('p')
+		e.loc(v.Ptr)
+		e.byte(',')
+	case KindFn:
+		e.byte('f')
+		e.num(int64(v.Fn))
+		e.byte(',')
+	}
+}
+
+// Hash returns a 64-bit hash of the canonical key, for sizing diagnostics
+// and for striping parallel visited sets.
+func (k Key) Hash() uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(k))
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], h.Sum64())
+	return binary.BigEndian.Uint64(buf[:])
+}

@@ -1,0 +1,322 @@
+package sem
+
+import (
+	"testing"
+
+	"psa/internal/lang"
+)
+
+func TestGranStmtHidesLostUpdate(t *testing.T) {
+	// Under GranStmt the increment is atomic: only outcome 2 remains.
+	c := initial(t, `
+var g;
+func main() {
+  cobegin { g = g + 1; } || { g = g + 1; } coend
+}
+`).SetGranularity(GranStmt)
+	terms := stepAll(t, c, 10000)
+	for _, tc := range terms {
+		v, _ := tc.GlobalByName("g")
+		if v.N != 2 {
+			t.Errorf("GranStmt: final g = %s, want 2", v)
+		}
+	}
+}
+
+func TestGranRefSplitsOnlyCritical(t *testing.T) {
+	// An assignment reading only thread-private data commits in one step
+	// even when the destination is shared: one critical reference.
+	c := initial(t, `
+var g;
+func main() {
+  cobegin { var t = 5; g = t + 1; } || { skip; } coend
+}
+`)
+	// Walk deterministically counting steps of arm 0; pending never set.
+	cur := c
+	for {
+		en := cur.Enabled()
+		if len(en) == 0 {
+			break
+		}
+		for _, p := range cur.Procs {
+			if cur.hasPending(p) {
+				t.Fatal("no statement here has two critical references; nothing should split")
+			}
+		}
+		cur = cur.Step(en[0]).Config
+	}
+	if v, _ := cur.GlobalByName("g"); v.N != 6 {
+		t.Errorf("g = %s, want 6", v)
+	}
+}
+
+func TestSplitAtEndOfBlockStillCommits(t *testing.T) {
+	// The split assignment is the LAST statement of an arm: the commit
+	// must still run before the arm joins.
+	c := initial(t, `
+var g = 10;
+func main() {
+  cobegin { g = g + 1; } || { g = g * 2; } coend
+}
+`)
+	terms := stepAll(t, c, 10000)
+	got := map[int64]bool{}
+	for _, tc := range terms {
+		v, _ := tc.GlobalByName("g")
+		got[v.N] = true
+	}
+	// Serializations: (g+1 then *2) = 22; (*2 then +1) = 21.
+	// Races: both read 10 → 11 or 20 depending on write order.
+	for _, want := range []int64{22, 21, 11, 20} {
+		if !got[want] {
+			t.Errorf("missing outcome %d in %v", want, got)
+		}
+	}
+	if len(got) != 4 {
+		t.Errorf("outcomes %v, want exactly {11,20,21,22}", got)
+	}
+}
+
+func TestSplitReturnDelivery(t *testing.T) {
+	// f reads shared g and its result lands in shared h: the delivery is
+	// its own transition, so the other arm's write to h can interleave
+	// between f's read of g and the store to h — and can itself be
+	// overwritten by the pending delivery.
+	c := initial(t, `
+var g = 1; var h;
+func f() { return g + 10; }
+func main() {
+  cobegin { h = f(); } || { h = 5; } coend
+}
+`)
+	terms := stepAll(t, c, 100000)
+	got := map[int64]bool{}
+	for _, tc := range terms {
+		if tc.Err != "" {
+			t.Fatalf("error state: %s", tc.Err)
+		}
+		v, _ := tc.GlobalByName("h")
+		got[v.N] = true
+	}
+	if !got[11] || !got[5] {
+		t.Errorf("outcomes %v, want both 11 and 5", got)
+	}
+}
+
+func TestPendingEncodedDistinctly(t *testing.T) {
+	// A configuration with a pending write must not collide with one
+	// where the write already committed.
+	c := initial(t, `
+var g = 1;
+func main() {
+  cobegin { g = g + 1; } || { g = 5; } coend
+}
+`)
+	cur := c.Step(0).Config // fork
+	// Step arm 0 once: read phase, pending set.
+	var armIdx = -1
+	for i, p := range cur.Procs {
+		if p.Path == "0/0" {
+			armIdx = i
+		}
+	}
+	mid := cur.Step(armIdx).Config
+	var midProc *Process
+	for _, p := range mid.Procs {
+		if p.Path == "0/0" {
+			midProc = p
+		}
+	}
+	if midProc == nil || !mid.hasPending(midProc) {
+		t.Fatal("expected pending write after read phase")
+	}
+	// Commit.
+	for i, p := range mid.Procs {
+		if p.Path == "0/0" {
+			done := mid.Step(i).Config
+			if mid.Encode() == done.Encode() {
+				t.Error("pending and committed states encode identically")
+			}
+			return
+		}
+	}
+}
+
+func TestNextAccessPendingIsWriteOnly(t *testing.T) {
+	c := initial(t, `
+var g = 1;
+func main() {
+  cobegin { g = g + 1; } || { g = 5; } coend
+}
+`)
+	cur := c.Step(0).Config
+	for i, p := range cur.Procs {
+		if p.Path == "0/0" {
+			mid := cur.Step(i).Config
+			for j, q := range mid.Procs {
+				if q.Path == "0/0" {
+					acc := mid.NextAccess(j)
+					if len(acc.Reads) != 0 || len(acc.Writes) != 1 {
+						t.Errorf("pending access = R%v W%v, want one write", acc.Reads, acc.Writes)
+					}
+				}
+			}
+			return
+		}
+	}
+}
+
+func TestNextAccessAssignment(t *testing.T) {
+	c := initial(t, `
+var a = 1; var b;
+func main() {
+  b = a + 2;
+}
+`)
+	acc := c.NextAccess(0)
+	if len(acc.Reads) != 1 || acc.Reads[0] != (Loc{Space: SpaceGlobal, Base: 0}) {
+		t.Errorf("reads = %v, want [g0]", acc.Reads)
+	}
+	if len(acc.Writes) != 1 || acc.Writes[0] != (Loc{Space: SpaceGlobal, Base: 1}) {
+		t.Errorf("writes = %v, want [g1]", acc.Writes)
+	}
+}
+
+func TestNextAccessHeapDeref(t *testing.T) {
+	c := initial(t, `
+var out;
+func main() {
+  var p = malloc(2);
+  *(p + 1) = 7;
+  out = *(p + 1);
+}
+`)
+	// Execute the malloc.
+	cur := c.Step(0).Config
+	acc := cur.NextAccess(0)
+	if len(acc.Writes) != 1 || acc.Writes[0].Space != SpaceHeap || acc.Writes[0].Off != 1 {
+		t.Errorf("writes = %v, want heap cell offset 1", acc.Writes)
+	}
+	cur = cur.Step(0).Config
+	acc = cur.NextAccess(0)
+	if len(acc.Reads) != 1 || acc.Reads[0].Space != SpaceHeap {
+		t.Errorf("reads = %v, want one heap read", acc.Reads)
+	}
+}
+
+func TestNextAccessMallocPhantom(t *testing.T) {
+	c := initial(t, `
+var p;
+func main() {
+  p = malloc(1);
+}
+`)
+	acc := c.NextAccess(0)
+	for _, l := range acc.Reads {
+		if l.Space == SpaceHeap && l.Base >= 0 {
+			t.Errorf("dry-run malloc leaked a real heap read: %v", l)
+		}
+	}
+	// Dry run must not have allocated anything.
+	if len(c.Heap) != 0 {
+		t.Error("NextAccess mutated the heap")
+	}
+	if c.nextAlloc != 0 {
+		t.Error("NextAccess consumed an allocation id")
+	}
+}
+
+func TestNextAccessDoesNotMutate(t *testing.T) {
+	c := initial(t, `
+var a = 1; var b;
+func main() { b = a + 1; }
+`)
+	k := c.Encode()
+	_ = c.NextAccess(0)
+	if c.Encode() != k {
+		t.Error("NextAccess mutated the configuration")
+	}
+}
+
+func TestFutureSummaryConservative(t *testing.T) {
+	prog := mustProg(t, `
+var a; var b; var c;
+func touchB() { b = 1; return 0; }
+func main() {
+  a = 1;
+  while a < 10 {
+    touchB();
+    a = a + 1;
+  }
+  c = 1;
+}
+`)
+	c := NewConfig(prog)
+	sm := NewSummaries(prog)
+	fut := sm.FutureSummary(c, 0)
+	ai := prog.Global("a").Index
+	bi := prog.Global("b").Index
+	ci := prog.Global("c").Index
+	if !fut.GW[ai] || !fut.GW[bi] || !fut.GW[ci] {
+		t.Errorf("future summary misses writes: a=%v b=%v c=%v", fut.GW[ai], fut.GW[bi], fut.GW[ci])
+	}
+	if !fut.GR[ai] {
+		t.Error("future summary misses read of a (loop condition)")
+	}
+	// Step past "a = 1": the write to a must remain (loop body rewrites a).
+	cur := c.Step(0).Config
+	fut = sm.FutureSummary(cur, 0)
+	if !fut.GW[ai] {
+		t.Error("write to a inside the loop lost after first statement")
+	}
+}
+
+func TestFutureSummaryShrinks(t *testing.T) {
+	prog := mustProg(t, `
+var a; var b;
+func main() {
+  a = 1;
+  b = 2;
+}
+`)
+	c := NewConfig(prog)
+	sm := NewSummaries(prog)
+	fut := sm.FutureSummary(c, 0)
+	if !fut.GW[0] || !fut.GW[1] {
+		t.Fatal("initial future must include both writes")
+	}
+	cur := c.Step(0).Config
+	fut = sm.FutureSummary(cur, 0)
+	if fut.GW[0] {
+		t.Error("write to a still in future after it executed")
+	}
+	if !fut.GW[1] {
+		t.Error("write to b missing from future")
+	}
+}
+
+func TestSummaryConflicts(t *testing.T) {
+	prog := mustProg(t, `
+var a; var b;
+func main() { a = 1; b = 2; }
+`)
+	sm := NewSummaries(prog)
+	fut := sm.FutureSummary(NewConfig(prog), 0)
+	ga := Loc{Space: SpaceGlobal, Base: 0}
+	if !fut.ConflictsWith(AccessSet{Writes: []Loc{ga}}) {
+		t.Error("write/write conflict missed")
+	}
+	if !fut.ConflictsWith(AccessSet{Reads: []Loc{ga}}) {
+		t.Error("read/write conflict missed")
+	}
+	// Phantom heap writes never conflict.
+	if fut.ConflictsWith(AccessSet{Writes: []Loc{{Space: SpaceHeap, Base: -1}}}) {
+		t.Error("phantom allocation reported as conflicting")
+	}
+}
+
+func mustProg(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	return lang.MustParse(src)
+}

@@ -1,0 +1,180 @@
+package sem
+
+import (
+	"testing"
+
+	"psa/internal/lang"
+)
+
+// Determinism: stepping the same process of the same configuration twice
+// yields identical successors (keys and events).
+func TestStepDeterministic(t *testing.T) {
+	progs := []string{
+		`var g; func main() { cobegin { g = g + 1; } || { g = g * 2; } coend }`,
+		`var p; var q;
+		 func main() { cobegin { p = malloc(2); *p = 1; } || { q = malloc(1); *q = 2; } coend }`,
+		`var a; var b;
+		 func mk(v) { a = v; return v * 2; }
+		 func main() { cobegin { b = mk(3); } || { a = 9; } coend }`,
+	}
+	for pi, src := range progs {
+		c := NewConfig(lang.MustParse(src))
+		// Walk a few levels of the tree, checking each expansion twice.
+		stack := []*Config{c}
+		for depth := 0; depth < 4 && len(stack) > 0; depth++ {
+			var next []*Config
+			for _, cur := range stack {
+				for _, i := range cur.Enabled() {
+					r1 := cur.Step(i)
+					r2 := cur.Step(i)
+					if r1.Config.Encode() != r2.Config.Encode() {
+						t.Fatalf("prog %d: nondeterministic step (proc %d)", pi, i)
+					}
+					if len(r1.Events) != len(r2.Events) {
+						t.Fatalf("prog %d: event streams differ", pi)
+					}
+					for k := range r1.Events {
+						if r1.Events[k].Loc != r2.Events[k].Loc || r1.Events[k].Kind != r2.Events[k].Kind {
+							t.Fatalf("prog %d: event %d differs", pi, k)
+						}
+					}
+					next = append(next, r1.Config)
+				}
+			}
+			stack = next
+		}
+	}
+}
+
+// Encode stability: encoding is a pure function of the configuration.
+func TestEncodeStable(t *testing.T) {
+	c := initial(t, `
+var g;
+func main() {
+  var p = malloc(2);
+  *p = 1;
+  cobegin { g = *p; } || { *(p + 1) = 2; } coend
+}
+`)
+	for steps := 0; steps < 6; steps++ {
+		k1 := c.Encode()
+		k2 := c.Encode()
+		if k1 != k2 {
+			t.Fatalf("Encode not stable at step %d", steps)
+		}
+		if c.EncodeNoCanon() != c.EncodeNoCanon() {
+			t.Fatalf("EncodeNoCanon not stable at step %d", steps)
+		}
+		en := c.Enabled()
+		if len(en) == 0 {
+			break
+		}
+		c = c.Step(en[0]).Config
+	}
+}
+
+// Pointer identity semantics: equal pointers compare equal, distinct
+// allocations compare unequal, pointer vs int compares unequal.
+func TestPointerComparisons(t *testing.T) {
+	res := mustRun(t, `
+var same; var diff; var offs; var vsint;
+func main() {
+  var p = malloc(2);
+  var q = malloc(2);
+  var r = p;
+  same = p == r;
+  diff = p == q;
+  offs = (p + 1) == (r + 1);
+  vsint = p == 0;
+}
+`)
+	wantGlobal(t, res, "same", 1)
+	wantGlobal(t, res, "diff", 0)
+	wantGlobal(t, res, "offs", 1)
+	wantGlobal(t, res, "vsint", 0)
+}
+
+// Function value semantics: equality and call-through.
+func TestFunctionValues(t *testing.T) {
+	res := mustRun(t, `
+var eq; var ne; var out;
+func f(x) { return x + 1; }
+func g(x) { return x + 2; }
+func main() {
+  var a = f;
+  var b = f;
+  var c = g;
+  eq = a == b;
+  ne = a == c;
+  out = a(10);
+}
+`)
+	wantGlobal(t, res, "eq", 1)
+	wantGlobal(t, res, "ne", 0)
+	wantGlobal(t, res, "out", 11)
+}
+
+// Negative offsets and interior pointers behave arithmetically.
+func TestPointerArithmeticRoundTrip(t *testing.T) {
+	res := mustRun(t, `
+var out;
+func main() {
+  var p = malloc(3);
+  *(p + 2) = 9;
+  var q = p + 2;
+  var r = q - 2;
+  out = *(r + 2);
+}
+`)
+	wantGlobal(t, res, "out", 9)
+}
+
+// Deref of an int and calling an int are runtime errors, not panics.
+func TestTypeErrorsAreErrorStates(t *testing.T) {
+	for _, src := range []string{
+		`var a; func main() { var x = 5; a = *x; }`,
+		`func main() { var x = 5; x(); }`,
+		`var a; func main() { a = -malloc(1); }`,
+	} {
+		res := mustRun(t, src)
+		if res.Final.Err == "" {
+			t.Errorf("expected runtime error for %q", src)
+		}
+	}
+}
+
+// Shared heap via a global pointer: one arm publishes a pointer, the
+// other dereferences it (or sees it unset and skips).
+func TestSharedHeapPointerPublication(t *testing.T) {
+	c := initial(t, `
+var shared; var got;
+func main() {
+  cobegin {
+    var p = malloc(1);
+    *p = 77;
+    shared = p;
+  } || {
+    if shared == 0 { skip; } else { got = *shared; }
+  } coend
+}
+`)
+	terms := stepAll(t, c, 100000)
+	sawZero, saw77 := false, false
+	for _, tc := range terms {
+		if tc.Err != "" {
+			t.Fatalf("unexpected error: %s", tc.Err)
+		}
+		v, _ := tc.GlobalByName("got")
+		switch v.N {
+		case 0:
+			sawZero = true
+		case 77:
+			saw77 = true
+		default:
+			t.Errorf("got = %s", v)
+		}
+	}
+	if !sawZero || !saw77 {
+		t.Errorf("both outcomes required: sawZero=%v saw77=%v", sawZero, saw77)
+	}
+}

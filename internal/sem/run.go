@@ -1,0 +1,61 @@
+package sem
+
+import (
+	"fmt"
+
+	"psa/internal/lang"
+)
+
+// RunResult is the outcome of a deterministic run.
+type RunResult struct {
+	Final  *Config
+	Events []Event
+	Allocs []AllocEvent
+	Steps  int
+}
+
+// Run executes prog under the deterministic scheduler that always steps
+// the lowest-path enabled process, until termination or maxSteps (0 means
+// a generous default). It returns the final configuration and the full
+// instrumentation stream. A runtime error in the program yields a normal
+// RunResult whose Final.Err is set; Run only returns a Go error for
+// non-termination within the step budget.
+//
+// Run explores a single interleaving; use package explore for all of them.
+func Run(prog *lang.Program, maxSteps int) (*RunResult, error) {
+	if maxSteps <= 0 {
+		maxSteps = 1_000_000
+	}
+	c := NewConfig(prog)
+	res := &RunResult{}
+	for steps := 0; ; steps++ {
+		if c.Err != "" {
+			res.Final = c
+			res.Steps = steps
+			return res, nil
+		}
+		en := c.Enabled()
+		if len(en) == 0 {
+			res.Final = c
+			res.Steps = steps
+			return res, nil
+		}
+		if steps >= maxSteps {
+			return nil, fmt.Errorf("sem: program did not terminate within %d steps", maxSteps)
+		}
+		sr := c.Step(en[0])
+		res.Events = append(res.Events, sr.Events...)
+		res.Allocs = append(res.Allocs, sr.Allocs...)
+		c = sr.Config
+	}
+}
+
+// GlobalByName returns the value of the named global in c (Undef, false if
+// no such global).
+func (c *Config) GlobalByName(name string) (Value, bool) {
+	g := c.Prog.Global(name)
+	if g == nil {
+		return Undef, false
+	}
+	return c.Globals[g.Index], true
+}

@@ -1,0 +1,430 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"psa/internal/lang"
+)
+
+func mustRun(t *testing.T, src string) *RunResult {
+	t.Helper()
+	prog := lang.MustParse(src)
+	res, err := Run(prog, 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func wantGlobal(t *testing.T, res *RunResult, name string, want int64) {
+	t.Helper()
+	v, ok := res.Final.GlobalByName(name)
+	if !ok {
+		t.Fatalf("no global %q", name)
+	}
+	if v.Kind != KindInt || v.N != want {
+		t.Errorf("%s = %s, want %d", name, v, want)
+	}
+}
+
+func TestRunArithmetic(t *testing.T) {
+	res := mustRun(t, `
+var a; var b; var c; var d; var e; var f;
+func main() {
+  a = 2 + 3 * 4;
+  b = (2 + 3) * 4;
+  c = 17 / 5;
+  d = 17 % 5;
+  e = -7 + 1;
+  f = 10 - 2 - 3;
+}
+`)
+	wantGlobal(t, res, "a", 14)
+	wantGlobal(t, res, "b", 20)
+	wantGlobal(t, res, "c", 3)
+	wantGlobal(t, res, "d", 2)
+	wantGlobal(t, res, "e", -6)
+	wantGlobal(t, res, "f", 5)
+	if res.Final.Err != "" {
+		t.Errorf("unexpected error: %s", res.Final.Err)
+	}
+}
+
+func TestRunComparisonsAndLogic(t *testing.T) {
+	res := mustRun(t, `
+var a; var b; var c; var d; var e;
+func main() {
+  a = 3 < 5;
+  b = 3 >= 5;
+  c = 1 && 0;
+  d = 1 || 0;
+  e = !0;
+}
+`)
+	wantGlobal(t, res, "a", 1)
+	wantGlobal(t, res, "b", 0)
+	wantGlobal(t, res, "c", 0)
+	wantGlobal(t, res, "d", 1)
+	wantGlobal(t, res, "e", 1)
+}
+
+func TestRunIfWhile(t *testing.T) {
+	res := mustRun(t, `
+var sum; var n = 5;
+func main() {
+  var i = 1;
+  while i <= n {
+    if i % 2 == 0 { sum = sum + i; } else { sum = sum + 10 * i; }
+    i = i + 1;
+  }
+}
+`)
+	// odd: 10+30+50 = 90; even: 2+4 = 6.
+	wantGlobal(t, res, "sum", 96)
+}
+
+func TestRunCallsAndRecursion(t *testing.T) {
+	res := mustRun(t, `
+var r1; var r2;
+func fact(k) {
+  if k <= 1 { return 1; }
+  var sub = fact(k - 1);
+  return k * sub;
+}
+func fib(k) {
+  if k < 2 { return k; }
+  var a = fib(k - 1);
+  var b = fib(k - 2);
+  return a + b;
+}
+func main() {
+  r1 = fact(6);
+  r2 = fib(10);
+}
+`)
+	wantGlobal(t, res, "r1", 720)
+	wantGlobal(t, res, "r2", 55)
+}
+
+func TestRunFirstClassFunctions(t *testing.T) {
+	res := mustRun(t, `
+var r;
+func inc(x) { return x + 1; }
+func twice(f, v) { var a = f(v); var b = f(a); return b; }
+func main() { r = twice(inc, 40); }
+`)
+	wantGlobal(t, res, "r", 42)
+}
+
+func TestRunPointersGlobals(t *testing.T) {
+	res := mustRun(t, `
+var g = 10; var out;
+func main() {
+  var p = &g;
+  *p = *p + 5;
+  out = g;
+}
+`)
+	wantGlobal(t, res, "out", 15)
+}
+
+func TestRunMallocAndPointerArith(t *testing.T) {
+	res := mustRun(t, `
+var s;
+func main() {
+  var a = malloc(3);
+  *a = 10;
+  *(a + 1) = 20;
+  *(a + 2) = 30;
+  var i = 0;
+  while i < 3 {
+    s = s + *(a + i);
+    i = i + 1;
+  }
+}
+`)
+	wantGlobal(t, res, "s", 60)
+}
+
+func TestRunPointerThroughHeap(t *testing.T) {
+	// The paper's running example: y=malloc; *y=10; x=malloc; *x=*y.
+	res := mustRun(t, `
+var x; var y; var out;
+func main() {
+  s1: y = malloc(1);
+  s2: *y = 10;
+  s3: x = malloc(1);
+  s4: *x = *y;
+  out = *x;
+}
+`)
+	wantGlobal(t, res, "out", 10)
+	if len(res.Allocs) != 2 {
+		t.Errorf("got %d allocations, want 2", len(res.Allocs))
+	}
+}
+
+func TestRunFreeAndDanglingError(t *testing.T) {
+	res := mustRun(t, `
+var out;
+func main() {
+  var p = malloc(1);
+  *p = 1;
+  free(p);
+  out = *p;
+}
+`)
+	if res.Final.Err == "" || !strings.Contains(res.Final.Err, "dangling") {
+		t.Errorf("expected dangling pointer error, got %q", res.Final.Err)
+	}
+}
+
+func TestRunDoubleFreeError(t *testing.T) {
+	res := mustRun(t, `
+func main() {
+  var p = malloc(1);
+  free(p);
+  free(p);
+}
+`)
+	if res.Final.Err == "" || !strings.Contains(res.Final.Err, "free") {
+		t.Errorf("expected double-free error, got %q", res.Final.Err)
+	}
+}
+
+func TestRunHeapBoundsError(t *testing.T) {
+	res := mustRun(t, `
+func main() {
+  var p = malloc(2);
+  *(p + 5) = 1;
+}
+`)
+	if res.Final.Err == "" || !strings.Contains(res.Final.Err, "out of bounds") {
+		t.Errorf("expected bounds error, got %q", res.Final.Err)
+	}
+}
+
+func TestRunDivZeroError(t *testing.T) {
+	res := mustRun(t, `
+var a;
+func main() { a = 1 / 0; }
+`)
+	if res.Final.Err == "" || !strings.Contains(res.Final.Err, "division by zero") {
+		t.Errorf("expected division error, got %q", res.Final.Err)
+	}
+}
+
+func TestRunAssert(t *testing.T) {
+	res := mustRun(t, `
+var a = 3;
+func main() { assert a == 3; a = 4; assert a == 3; }
+`)
+	if res.Final.Err == "" || !strings.Contains(res.Final.Err, "assertion failed") {
+		t.Errorf("expected assertion failure, got %q", res.Final.Err)
+	}
+	if res.Final.ErrStmt == 0 {
+		t.Error("ErrStmt not recorded")
+	}
+}
+
+func TestRunMissingReturnValueError(t *testing.T) {
+	res := mustRun(t, `
+var a;
+func f() { skip; }
+func main() { a = f(); }
+`)
+	if res.Final.Err == "" || !strings.Contains(res.Final.Err, "fell off its end") {
+		t.Errorf("expected missing-return error, got %q", res.Final.Err)
+	}
+}
+
+func TestRunReturnWithoutValueForStatementCall(t *testing.T) {
+	res := mustRun(t, `
+var g;
+func f() { g = 1; return; }
+func main() { f(); }
+`)
+	if res.Final.Err != "" {
+		t.Errorf("unexpected error: %s", res.Final.Err)
+	}
+	wantGlobal(t, res, "g", 1)
+}
+
+func TestRunCobeginJoins(t *testing.T) {
+	res := mustRun(t, `
+var a; var b; var after;
+func main() {
+  cobegin { a = 1; } || { b = 2; } coend
+  after = a + b;
+}
+`)
+	wantGlobal(t, res, "after", 3)
+	// All child processes joined: only the root remains.
+	if len(res.Final.Procs) != 1 {
+		t.Errorf("%d processes at termination, want 1", len(res.Final.Procs))
+	}
+	if res.Final.Procs[0].Status != StatusDone {
+		t.Errorf("root status = %s, want done", res.Final.Procs[0].Status)
+	}
+}
+
+func TestRunNestedCobegin(t *testing.T) {
+	res := mustRun(t, `
+var a; var b; var c; var s;
+func main() {
+  cobegin {
+    cobegin { a = 1; } || { b = 2; } coend
+  } || { c = 4; } coend
+  s = a + b + c;
+}
+`)
+	wantGlobal(t, res, "s", 7)
+}
+
+func TestRunCobeginCopyInLocals(t *testing.T) {
+	res := mustRun(t, `
+var r1; var r2;
+func main() {
+  var base = 100;
+  cobegin { var x = base + 1; r1 = x; } || { var y = base + 2; r2 = y; } coend
+}
+`)
+	wantGlobal(t, res, "r1", 101)
+	wantGlobal(t, res, "r2", 102)
+}
+
+func TestRunCobeginCallsInArms(t *testing.T) {
+	res := mustRun(t, `
+var a; var b;
+func setA(v) { a = v; return 0; }
+func setB(v) { b = v; return 0; }
+func main() {
+  cobegin { setA(7); } || { setB(8); } coend
+}
+`)
+	wantGlobal(t, res, "a", 7)
+	wantGlobal(t, res, "b", 8)
+}
+
+func TestRunCobeginInLoop(t *testing.T) {
+	res := mustRun(t, `
+var total;
+func main() {
+  var i = 0;
+  while i < 3 {
+    cobegin { total = total + 1; } || { total = total + 1; } coend
+    i = i + 1;
+  }
+}
+`)
+	// Sequential scheduler: no lost updates here.
+	wantGlobal(t, res, "total", 6)
+}
+
+func TestRunEmptyArm(t *testing.T) {
+	res := mustRun(t, `
+var a;
+func main() {
+  cobegin { skip; } || { a = 1; } coend
+}
+`)
+	wantGlobal(t, res, "a", 1)
+}
+
+func TestRunEventsRecorded(t *testing.T) {
+	res := mustRun(t, `
+var g;
+func main() {
+  s1: g = 1;
+  s2: g = g + 1;
+}
+`)
+	var reads, writes int
+	for _, ev := range res.Events {
+		if ev.Loc.Space != SpaceGlobal {
+			continue
+		}
+		switch ev.Kind {
+		case Read:
+			reads++
+		case Write:
+			writes++
+		}
+	}
+	if writes != 2 {
+		t.Errorf("%d global writes, want 2", writes)
+	}
+	if reads != 1 {
+		t.Errorf("%d global reads, want 1", reads)
+	}
+}
+
+func TestRunHeapEventsCarryBirth(t *testing.T) {
+	res := mustRun(t, `
+func main() {
+  var p = malloc(1);
+  *p = 5;
+}
+`)
+	found := false
+	for _, ev := range res.Events {
+		if ev.Loc.Space == SpaceHeap && ev.Kind == Write {
+			found = true
+			if ev.Site == 0 {
+				t.Error("heap event missing allocation site")
+			}
+		}
+	}
+	if !found {
+		t.Error("no heap write event recorded")
+	}
+}
+
+func TestRunReturnValueToDeref(t *testing.T) {
+	res := mustRun(t, `
+var out;
+func f() { return 9; }
+func main() {
+  var p = malloc(1);
+  *p = f();
+  out = *p;
+}
+`)
+	wantGlobal(t, res, "out", 9)
+}
+
+func TestRunGlobalsInitialized(t *testing.T) {
+	res := mustRun(t, `
+var a = -4; var b = 7; var c;
+func main() { skip; }
+`)
+	wantGlobal(t, res, "a", -4)
+	wantGlobal(t, res, "b", 7)
+	wantGlobal(t, res, "c", 0)
+}
+
+func TestRunCallResultThenArithmetic(t *testing.T) {
+	res := mustRun(t, `
+var a;
+func f(x) { return x; }
+func main() {
+  var u = f(a - a);
+  a = u / 1 + 3;
+}
+`)
+	if res.Final.Err != "" {
+		t.Errorf("unexpected error %q", res.Final.Err)
+	}
+	wantGlobal(t, res, "a", 3)
+}
+
+func TestRunInfiniteLoopBudget(t *testing.T) {
+	prog := lang.MustParse(`
+func main() { while 1 { skip; } }
+`)
+	_, err := Run(prog, 1000)
+	if err == nil || !strings.Contains(err.Error(), "did not terminate") {
+		t.Errorf("expected budget error, got %v", err)
+	}
+}

@@ -1,0 +1,285 @@
+package sem
+
+import (
+	"testing"
+
+	"psa/internal/lang"
+)
+
+func initial(t *testing.T, src string) *Config {
+	t.Helper()
+	return NewConfig(lang.MustParse(src))
+}
+
+// stepAll explores every interleaving exhaustively (full expansion) and
+// returns all terminal configurations keyed by Encode. It is a tiny
+// reference explorer used to validate the semantics before package explore
+// builds the real one.
+func stepAll(t *testing.T, c *Config, limit int) map[Key]*Config {
+	t.Helper()
+	seen := map[Key]bool{}
+	terms := map[Key]*Config{}
+	queue := []*Config{c}
+	seen[c.Encode()] = true
+	for len(queue) > 0 {
+		if len(seen) > limit {
+			t.Fatalf("state space exceeded %d states", limit)
+		}
+		cur := queue[0]
+		queue = queue[1:]
+		en := cur.Enabled()
+		if len(en) == 0 {
+			terms[cur.Encode()] = cur
+			continue
+		}
+		for _, i := range en {
+			nxt := cur.Step(i).Config
+			k := nxt.Encode()
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, nxt)
+			}
+		}
+	}
+	return terms
+}
+
+func TestStepDoesNotMutateParent(t *testing.T) {
+	c := initial(t, `
+var g;
+func main() {
+  cobegin { g = 1; } || { g = 2; } coend
+}
+`)
+	k0 := c.Encode()
+	// Fork.
+	c1 := c.Step(0).Config
+	if c.Encode() != k0 {
+		t.Fatal("Step mutated its receiver")
+	}
+	k1 := c1.Encode()
+	en := c1.Enabled()
+	if len(en) != 2 {
+		t.Fatalf("after fork: %d enabled, want 2", len(en))
+	}
+	_ = c1.Step(en[0])
+	_ = c1.Step(en[1])
+	if c1.Encode() != k1 {
+		t.Fatal("Step mutated the forked configuration")
+	}
+	if c.Encode() != k0 {
+		t.Fatal("grandchild steps mutated the root configuration")
+	}
+}
+
+func TestInterleavingOutcomesRace(t *testing.T) {
+	// Two unsynchronized increments: the classic lost-update race.
+	// g = g+1 twice concurrently can yield 1 (both read 0) or 2.
+	c := initial(t, `
+var g;
+func main() {
+  cobegin { g = g + 1; } || { g = g + 1; } coend
+}
+`)
+	terms := stepAll(t, c, 10000)
+	got := map[int64]bool{}
+	for _, tc := range terms {
+		if tc.Err != "" {
+			t.Fatalf("error state: %s", tc.Err)
+		}
+		v, _ := tc.GlobalByName("g")
+		got[v.N] = true
+	}
+	if !got[1] || !got[2] || len(got) != 2 {
+		t.Errorf("final g values = %v, want exactly {1, 2}", got)
+	}
+}
+
+func TestInterleavingShashaSnir(t *testing.T) {
+	// Store-buffering litmus (paper Fig. 2 / Example 1, [SS88]): under
+	// sequential consistency exactly three of the four outcomes are legal.
+	c := initial(t, `
+var A; var B; var x; var y;
+func main() {
+  cobegin { s1: A = 1; s2: y = B; } || { s3: B = 1; s4: x = A; } coend
+}
+`)
+	terms := stepAll(t, c, 100000)
+	type xy struct{ x, y int64 }
+	got := map[xy]bool{}
+	for _, tc := range terms {
+		xv, _ := tc.GlobalByName("x")
+		yv, _ := tc.GlobalByName("y")
+		got[xy{xv.N, yv.N}] = true
+	}
+	want := map[xy]bool{{0, 1}: true, {1, 0}: true, {1, 1}: true}
+	if len(got) != len(want) {
+		t.Fatalf("outcomes = %v, want %v", got, want)
+	}
+	for o := range want {
+		if !got[o] {
+			t.Errorf("missing legal outcome %v", o)
+		}
+	}
+	if got[xy{0, 0}] {
+		t.Error("impossible outcome (x,y)=(0,0) observed: SC violated")
+	}
+}
+
+func TestInterleavingBusyWait(t *testing.T) {
+	// Busy-waiting on a flag must terminate in every fair interleaving the
+	// explorer enumerates; state space is finite because the spin state
+	// repeats (merged by Encode).
+	c := initial(t, `
+var flag; var data; var out;
+func main() {
+  cobegin { data = 42; flag = 1; } || { while flag == 0 { skip; } out = data; } coend
+}
+`)
+	terms := stepAll(t, c, 10000)
+	for _, tc := range terms {
+		v, _ := tc.GlobalByName("out")
+		if v.N != 42 {
+			t.Errorf("out = %s, want 42 (flag protocol broken)", v)
+		}
+	}
+	if len(terms) == 0 {
+		t.Fatal("no terminal states found")
+	}
+}
+
+func TestEncodeMergesAllocOrder(t *testing.T) {
+	// Two arms each allocate; depending on interleaving the allocation ids
+	// swap, but canonical renaming must merge the resulting states.
+	c := initial(t, `
+var p; var q;
+func main() {
+  cobegin { p = malloc(1); *p = 1; } || { q = malloc(1); *q = 2; } coend
+}
+`)
+	terms := stepAll(t, c, 10000)
+	if len(terms) != 1 {
+		for k := range terms {
+			t.Logf("terminal: %s", k)
+		}
+		t.Errorf("%d terminal states, want 1 (heap renaming should merge)", len(terms))
+	}
+}
+
+func TestEncodeSkipsGarbage(t *testing.T) {
+	// An unreachable allocation must not affect state identity.
+	c1 := initial(t, `
+var g;
+func main() {
+  var p = malloc(1);
+  p = 0;
+  g = 1;
+}
+`)
+	// Run c1 to completion.
+	var term1 *Config
+	for cur := c1; ; {
+		en := cur.Enabled()
+		if len(en) == 0 {
+			term1 = cur
+			break
+		}
+		cur = cur.Step(en[0]).Config
+	}
+	c2 := initial(t, `
+var g;
+func main() {
+  var p = 0;
+  p = 0;
+  g = 1;
+}
+`)
+	var term2 *Config
+	for cur := c2; ; {
+		en := cur.Enabled()
+		if len(en) == 0 {
+			term2 = cur
+			break
+		}
+		cur = cur.Step(en[0]).Config
+	}
+	// The two programs differ syntactically, so whole keys differ by
+	// globals/locals; compare heap sections by checking no live heap is
+	// encoded for term1.
+	if len(term1.Heap) == 0 {
+		t.Skip("heap already empty (allocation optimized away?)")
+	}
+	k1 := string(term1.Encode())
+	k2 := string(term2.Encode())
+	if idx1, idx2 := lastIndex(k1, "H:"), lastIndex(k2, "H:"); k1[idx1:] != k2[idx2:] {
+		t.Errorf("garbage heap object leaked into the key:\n%s\nvs\n%s", k1[idx1:], k2[idx2:])
+	}
+}
+
+func lastIndex(s, sub string) int {
+	for i := len(s) - len(sub); i >= 0; i-- {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestEnabledOrderDeterministic(t *testing.T) {
+	c := initial(t, `
+var g;
+func main() {
+  cobegin { g = 1; } || { g = 2; } || { g = 3; } coend
+}
+`)
+	c1 := c.Step(0).Config
+	en := c1.Enabled()
+	if len(en) != 3 {
+		t.Fatalf("%d enabled, want 3", len(en))
+	}
+	// Paths must be sorted.
+	for i := 1; i < len(en); i++ {
+		if c1.Procs[en[i-1]].Path >= c1.Procs[en[i]].Path {
+			t.Error("enabled processes not in path order")
+		}
+	}
+}
+
+func TestWaitingProcessNotEnabled(t *testing.T) {
+	c := initial(t, `
+var g;
+func main() {
+  cobegin { g = 1; } || { g = 2; } coend
+  g = 3;
+}
+`)
+	c1 := c.Step(0).Config
+	for _, i := range c1.Enabled() {
+		if c1.Procs[i].Status != StatusRunning {
+			t.Error("non-running process reported enabled")
+		}
+		if c1.Procs[i].Path == "0" {
+			t.Error("waiting parent reported enabled")
+		}
+	}
+}
+
+func TestStepPanicsOnDisabled(t *testing.T) {
+	c := initial(t, `
+var g;
+func main() { cobegin { g = 1; } || { g = 2; } coend }
+`)
+	c1 := c.Step(0).Config // fork; parent now waiting at index 0
+	defer func() {
+		if recover() == nil {
+			t.Error("Step on waiting process should panic")
+		}
+	}()
+	// Parent is Procs[0] (path "0"), waiting.
+	for i, p := range c1.Procs {
+		if p.Path == "0" {
+			c1.Step(i)
+			return
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package sem
+
+import (
+	"psa/internal/lang"
+)
+
+// Summary over-approximates the shared locations a piece of code may ever
+// access: which global indices it may read/write, and whether it may
+// read/write any heap cell. Heap cells are not distinguished statically;
+// a dereference of an unknown pointer also taints every address-taken
+// global. Summaries feed the stubborn-set check: the next action of
+// process i may be fired alone only if no other process's FUTURE can
+// conflict with it (Overman's locality, generalized by Valmari).
+type Summary struct {
+	GR, GW []bool // indexed by global
+	HR, HW bool
+}
+
+func newSummary(nglobals int) *Summary {
+	return &Summary{GR: make([]bool, nglobals), GW: make([]bool, nglobals)}
+}
+
+// add unions other into s, reporting whether s changed.
+func (s *Summary) add(other *Summary) bool {
+	changed := false
+	for i, r := range other.GR {
+		if r && !s.GR[i] {
+			s.GR[i] = true
+			changed = true
+		}
+	}
+	for i, w := range other.GW {
+		if w && !s.GW[i] {
+			s.GW[i] = true
+			changed = true
+		}
+	}
+	if other.HR && !s.HR {
+		s.HR = true
+		changed = true
+	}
+	if other.HW && !s.HW {
+		s.HW = true
+		changed = true
+	}
+	return changed
+}
+
+// ConflictsWith reports whether an action with the given exact access set
+// could conflict with any future access in s: write/write or write/read
+// overlap on a global, or any heap access meeting a heap write (or heap
+// write meeting a heap read). Phantom heap locations (negative base:
+// freshly allocated by the action itself) cannot conflict with anything.
+func (s *Summary) ConflictsWith(a AccessSet) bool {
+	for _, w := range a.Writes {
+		switch w.Space {
+		case SpaceGlobal:
+			if s.GR[w.Base] || s.GW[w.Base] {
+				return true
+			}
+		case SpaceHeap:
+			if w.Base >= 0 && (s.HR || s.HW) {
+				return true
+			}
+		}
+	}
+	for _, r := range a.Reads {
+		switch r.Space {
+		case SpaceGlobal:
+			if s.GW[r.Base] {
+				return true
+			}
+		case SpaceHeap:
+			if r.Base >= 0 && s.HW {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Summaries caches static access summaries for one program.
+type Summaries struct {
+	prog      *lang.Program
+	fn        map[*lang.FuncDecl]*Summary
+	stmt      map[lang.NodeID]*Summary
+	addrTaken []bool
+	funcRefs  []*lang.FuncDecl
+	indirect  bool
+}
+
+// NewSummaries computes function-level summaries to a fixpoint and
+// prepares per-statement memoization.
+func NewSummaries(prog *lang.Program) *Summaries {
+	sm := &Summaries{
+		prog:      prog,
+		fn:        make(map[*lang.FuncDecl]*Summary),
+		stmt:      make(map[lang.NodeID]*Summary),
+		addrTaken: make([]bool, len(prog.Globals)),
+	}
+	for _, f := range prog.Funcs {
+		lang.WalkStmts(f.Body, func(s lang.Stmt) {
+			lang.WalkExprs(s, func(e lang.Expr) {
+				switch e := e.(type) {
+				case *lang.AddrExpr:
+					sm.addrTaken[e.Index] = true
+				case *lang.CallExpr:
+					if v, ok := e.Callee.(*lang.VarRef); !ok || v.Kind != lang.RefFunc {
+						sm.indirect = true
+					}
+				case *lang.VarRef:
+					if e.Kind == lang.RefFunc {
+						fr := prog.Funcs[e.Index]
+						dup := false
+						for _, g := range sm.funcRefs {
+							if g == fr {
+								dup = true
+								break
+							}
+						}
+						if !dup {
+							sm.funcRefs = append(sm.funcRefs, fr)
+						}
+					}
+				}
+			})
+		})
+	}
+	for _, f := range prog.Funcs {
+		sm.fn[f] = newSummary(len(prog.Globals))
+	}
+	// Fixpoint over the call graph.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range prog.Funcs {
+			ns := sm.blockSummary(f.Body)
+			if sm.fn[f].add(ns) {
+				changed = true
+			}
+		}
+	}
+	// Memoize per-statement summaries now that function summaries are final.
+	for _, f := range prog.Funcs {
+		lang.WalkStmts(f.Body, func(s lang.Stmt) {
+			sm.stmt[s.NodeID()] = sm.computeStmt(s)
+		})
+	}
+	return sm
+}
+
+// FnSummary returns the whole-execution summary of f.
+func (sm *Summaries) FnSummary(f *lang.FuncDecl) *Summary { return sm.fn[f] }
+
+// StmtSummary returns the summary of executing s to completion, including
+// loop bodies, both branches, nested cobegins, and callees.
+func (sm *Summaries) StmtSummary(s lang.Stmt) *Summary {
+	if got, ok := sm.stmt[s.NodeID()]; ok {
+		return got
+	}
+	// Statements outside any function (should not happen) get computed
+	// on the fly.
+	out := sm.computeStmt(s)
+	sm.stmt[s.NodeID()] = out
+	return out
+}
+
+func (sm *Summaries) blockSummary(b *lang.Block) *Summary {
+	out := newSummary(len(sm.prog.Globals))
+	if b == nil {
+		return out
+	}
+	for _, s := range b.Stmts {
+		out.add(sm.computeStmt(s))
+	}
+	return out
+}
+
+func (sm *Summaries) computeStmt(s lang.Stmt) *Summary {
+	out := newSummary(len(sm.prog.Globals))
+	switch s := s.(type) {
+	case *lang.VarStmt:
+		sm.exprInto(out, s.Init)
+	case *lang.AssignStmt:
+		sm.exprInto(out, s.Value)
+		sm.targetInto(out, s.Target)
+	case *lang.CallStmt:
+		sm.exprInto(out, s.Call)
+	case *lang.CobeginStmt:
+		for _, arm := range s.Arms {
+			out.add(sm.blockSummary(arm))
+		}
+	case *lang.IfStmt:
+		sm.exprInto(out, s.Cond)
+		out.add(sm.blockSummary(s.Then))
+		out.add(sm.blockSummary(s.Else))
+	case *lang.WhileStmt:
+		sm.exprInto(out, s.Cond)
+		out.add(sm.blockSummary(s.Body))
+	case *lang.ReturnStmt:
+		if s.Value != nil {
+			sm.exprInto(out, s.Value)
+		}
+	case *lang.AssertStmt:
+		sm.exprInto(out, s.Cond)
+	case *lang.FreeStmt:
+		sm.exprInto(out, s.Ptr)
+		out.HW = true
+	}
+	return out
+}
+
+// exprInto adds e's reads (and callee effects) to out.
+func (sm *Summaries) exprInto(out *Summary, e lang.Expr) {
+	switch e := e.(type) {
+	case *lang.VarRef:
+		if e.Kind == lang.RefGlobal {
+			out.GR[e.Index] = true
+		}
+	case *lang.UnaryExpr:
+		sm.exprInto(out, e.X)
+	case *lang.DerefExpr:
+		sm.exprInto(out, e.Ptr)
+		if a, ok := e.Ptr.(*lang.AddrExpr); ok {
+			out.GR[a.Index] = true
+		} else {
+			out.HR = true
+			for gi, t := range sm.addrTaken {
+				if t {
+					out.GR[gi] = true
+				}
+			}
+		}
+	case *lang.AddrExpr:
+		// Taking an address reads nothing.
+	case *lang.BinaryExpr:
+		sm.exprInto(out, e.X)
+		sm.exprInto(out, e.Y)
+	case *lang.CallExpr:
+		sm.exprInto(out, e.Callee)
+		for _, a := range e.Args {
+			sm.exprInto(out, a)
+		}
+		if v, ok := e.Callee.(*lang.VarRef); ok && v.Kind == lang.RefFunc {
+			out.add(sm.fn[sm.prog.Funcs[v.Index]])
+		} else {
+			// Indirect call: any function used as a value may run.
+			for _, f := range sm.funcRefs {
+				out.add(sm.fn[f])
+			}
+		}
+	case *lang.MallocExpr:
+		sm.exprInto(out, e.Count)
+	}
+}
+
+// targetInto adds the write of assigning to an lvalue.
+func (sm *Summaries) targetInto(out *Summary, t lang.Expr) {
+	switch t := t.(type) {
+	case *lang.VarRef:
+		if t.Kind == lang.RefGlobal {
+			out.GW[t.Index] = true
+		}
+	case *lang.DerefExpr:
+		sm.exprInto(out, t.Ptr)
+		if a, ok := t.Ptr.(*lang.AddrExpr); ok {
+			out.GW[a.Index] = true
+		} else {
+			out.HW = true
+			for gi, tk := range sm.addrTaken {
+				if tk {
+					out.GW[gi] = true
+				}
+			}
+		}
+	}
+}
+
+// FutureSummary over-approximates everything the process at procIdx may
+// still access: the remaining statements of every active block in every
+// frame, plus the pending return-destination writes of frames already on
+// the stack.
+func (sm *Summaries) FutureSummary(c *Config, procIdx int) *Summary {
+	out := newSummary(len(sm.prog.Globals))
+	p := c.Procs[procIdx]
+	addLocWrite := func(l Loc) {
+		switch l.Space {
+		case SpaceGlobal:
+			out.GW[l.Base] = true
+		case SpaceHeap:
+			out.HW = true
+		}
+	}
+	for _, f := range p.Frames {
+		for _, bp := range f.Blocks {
+			for i := bp.idx; i < len(bp.block.Stmts); i++ {
+				out.add(sm.StmtSummary(bp.block.Stmts[i]))
+			}
+		}
+		if f.Dest.kind == retLoc {
+			addLocWrite(f.Dest.loc)
+		}
+		// A pending split write is a future action too. For assignment
+		// splits the owning statement is still "remaining" above, but a
+		// RETURN split's destination lives only in the pending op (the
+		// callee frame that carried it is already popped) — missing it
+		// would let the stubborn check commute another process past the
+		// delivery (a lost-interleaving bug caught by
+		// TestStubbornSeesPendingReturnWrite).
+		if f.pending != nil && f.pending.dest.kind == retLoc {
+			addLocWrite(f.pending.dest.loc)
+		}
+	}
+	// A waiting process resumes after its children finish; its own future
+	// is captured above. Its children are separate processes with their
+	// own futures.
+	return out
+}
