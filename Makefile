@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench paperbench examples clean
+.PHONY: all build test test-short vet bench paperbench examples clean \
+	fmt fmt-check race bench-smoke ci
 
 all: build vet test
 
@@ -33,3 +34,23 @@ examples:
 
 clean:
 	$(GO) clean ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "these files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark plus the paperbench regression gate —
+# the CI bench-smoke job.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+	$(GO) run ./cmd/paperbench -small -json paperbench.json
+
+# Everything .github/workflows/ci.yml runs, locally.
+ci: fmt-check build vet test race bench-smoke

@@ -15,6 +15,7 @@ import (
 	"psa/internal/apps"
 	"psa/internal/explore"
 	"psa/internal/lang"
+	"psa/internal/metrics"
 	"psa/internal/paperexp"
 	"psa/internal/sem"
 	"psa/internal/workloads"
@@ -322,6 +323,39 @@ func BenchmarkGraphAndDivergence(b *testing.B) {
 			b.Fatal("deadlock not detected")
 		}
 	}
+}
+
+// BenchmarkExplore is the observability-overhead gate: the same
+// exploration with the metrics registry disabled (nil fast path — must
+// cost nothing vs. the pre-metrics engine) and enabled (bounds the
+// instrumentation overhead; expected low single-digit percent).
+func BenchmarkExplore(b *testing.B) {
+	prog := workloads.Philosophers(4)
+	b.Run("metrics-off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := explore.Explore(prog, explore.Options{Reduction: explore.Full, MaxConfigs: 1 << 22})
+			b.ReportMetric(float64(res.States), "states")
+		}
+	})
+	b.Run("metrics-on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := metrics.New()
+			res := explore.Explore(prog, explore.Options{Reduction: explore.Full, MaxConfigs: 1 << 22, Metrics: m})
+			if m.Get(metrics.StatesUnique) != int64(res.States) {
+				b.Fatal("metrics disagree with result")
+			}
+			b.ReportMetric(float64(res.States), "states")
+		}
+	})
+	b.Run("metrics-on-reduced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := metrics.New()
+			res := explore.Explore(prog, explore.Options{
+				Reduction: explore.Stubborn, Coarsen: true, MaxConfigs: 1 << 22, Metrics: m,
+			})
+			b.ReportMetric(float64(res.States), "states")
+		}
+	})
 }
 
 func BenchmarkParallelExploration(b *testing.B) {

@@ -12,15 +12,28 @@
 //	explore -reduction stubborn -coarsen prog.cb
 //	explore -outcomes x,y prog.cb
 //	explore -compare prog.cb
+//	explore -workers 8 -progress 2s -metrics prog.cb
+//	explore -pprof localhost:6060 -trace trace.out big.cb
+//
+// Observability: -metrics prints the engine-counter report (per-level
+// state counts, dedup hits, stubborn decisions, phase wall-clock) after
+// the run; -progress writes a periodic states/sec line to stderr;
+// -pprof serves net/http/pprof on the given address for live CPU/heap
+// profiling of long explorations; -trace writes a runtime/trace file
+// for `go tool trace`.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/trace"
 	"strings"
 
 	"psa/internal/core"
+	"psa/internal/metrics"
 	"psa/internal/sem"
 )
 
@@ -37,6 +50,11 @@ func main() {
 		dot        = flag.String("dot", "", "write the configuration graph to this Graphviz file")
 		divergence = flag.Bool("divergence", false, "report configurations from which no terminal is reachable (infinite waits)")
 		witness    = flag.Bool("witness", false, "print a schedule reaching each error state")
+		showMet    = flag.Bool("metrics", false, "print the engine metrics report after the run")
+		metJSON    = flag.String("metrics-json", "", "write the engine metrics snapshot as JSON to this file")
+		progress   = flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 2s)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) during the run")
+		traceFile  = flag.String("trace", "", "write a runtime/trace of the run to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -49,6 +67,68 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	if *pprofAddr != "" {
+		go func() {
+			// net/http/pprof registers its handlers on the default mux.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			trace.Stop()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			fmt.Fprintf(os.Stderr, "runtime trace written to %s (inspect with `go tool trace %s`)\n", *traceFile, *traceFile)
+		}()
+	}
+
+	var reg *metrics.Registry
+	if *showMet || *metJSON != "" || *progress > 0 {
+		reg = metrics.New()
+	}
+	if *progress > 0 {
+		stop := reg.StartProgress(os.Stderr, *progress)
+		defer stop()
+	}
+	defer func() {
+		if reg == nil {
+			return
+		}
+		snap := reg.Snapshot()
+		if *showMet {
+			snap.WriteTable(os.Stdout)
+		}
+		if *metJSON != "" {
+			f, err := os.Create(*metJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := snap.WriteJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics written to %s\n", *metJSON)
+		}
+	}()
 
 	if *compare {
 		type combo struct {
@@ -64,6 +144,7 @@ func main() {
 		var ref []string
 		for i, c := range combos {
 			c.opts.MaxConfigs = *max
+			c.opts.Metrics = reg
 			res := a.Explore(c.opts)
 			marker := ""
 			if i == 0 {
@@ -76,7 +157,7 @@ func main() {
 		return
 	}
 
-	opts := core.ExploreOptions{Coarsen: *coarsen, MaxConfigs: *max, Workers: *workers}
+	opts := core.ExploreOptions{Coarsen: *coarsen, MaxConfigs: *max, Workers: *workers, Metrics: reg}
 	switch *reduction {
 	case "full":
 		opts.Reduction = core.Full

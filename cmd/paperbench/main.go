@@ -3,37 +3,139 @@
 // philosophers scaling claim, and the reduction ablations. It prints the
 // same rows EXPERIMENTS.md records.
 //
+// Unless -verify=false, it then re-runs the recorded reference workloads
+// (internal/paperexp.Expectations) with metrics enabled and exits
+// non-zero if any state/edge/terminal count diverges from its recorded
+// expectation — the regression gate CI's bench job enforces.
+//
+// With -json FILE it also writes a machine-readable report: environment,
+// per-experiment tables, and per-workload rows (counts, wall-clock,
+// states/sec, dedup hits, stubborn decisions) for trajectory tracking.
+//
 // Usage:
 //
-//	paperbench [-small] [-only E4]
+//	paperbench [-small] [-only E4] [-verify=false] [-json report.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"psa/internal/paperexp"
 )
 
+// report is the -json output document.
+type report struct {
+	GoOS        string                 `json:"goos"`
+	GoArch      string                 `json:"goarch"`
+	GoVersion   string                 `json:"go_version"`
+	Small       bool                   `json:"small"`
+	Experiments []experimentRow        `json:"experiments"`
+	Workloads   []paperexp.WorkloadRow `json:"workloads,omitempty"`
+	TotalMillis float64                `json:"total_millis"`
+	OK          bool                   `json:"ok"`
+}
+
+type experimentRow struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Millis  float64    `json:"millis"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
 func main() {
 	small := flag.Bool("small", false, "smaller sweeps (n≤4 philosophers) for quick runs")
 	only := flag.String("only", "", "run a single experiment by ID (e.g. E4)")
+	verify := flag.Bool("verify", true, "check reference workloads against recorded state counts; exit 1 on divergence")
+	jsonOut := flag.String("json", "", "write a machine-readable report (experiments + per-workload metrics rows) to this file")
 	flag.Parse()
 
 	start := time.Now()
+	rep := &report{
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+		Small:     *small,
+		OK:        true,
+	}
+
 	found := false
 	for _, e := range paperexp.Registry(*small) {
 		if *only != "" && e.ID != *only {
 			continue
 		}
 		found = true
-		fmt.Println(e.Run())
+		t0 := time.Now()
+		tab := e.Run()
+		fmt.Println(tab)
+		rep.Experiments = append(rep.Experiments, experimentRow{
+			ID:      tab.ID,
+			Title:   tab.Title,
+			Millis:  float64(time.Since(t0).Microseconds()) / 1000,
+			Headers: tab.Headers,
+			Rows:    tab.Rows,
+			Notes:   tab.Notes,
+		})
 	}
 	if *only != "" && !found {
-		fmt.Fprintf(os.Stderr, "no experiment %q (E1..E12)\n", *only)
+		fmt.Fprintf(os.Stderr, "no experiment %q (E1..E15)\n", *only)
 		os.Exit(2)
 	}
+
+	// Regression gate: every reference workload must reproduce its
+	// recorded counts exactly. Skipped when a single experiment was
+	// requested (exploratory use), unless verification was forced off
+	// anyway.
+	if *verify && *only == "" {
+		rep.Workloads = paperexp.VerifyWorkloads()
+		fmt.Printf("%-16s %-18s %10s %10s %10s %12s  %s\n",
+			"workload", "strategy", "states", "edges", "dedup", "states/sec", "ok")
+		for _, row := range rep.Workloads {
+			ok := "ok"
+			if !row.OK {
+				ok = "DIVERGED"
+				rep.OK = false
+			}
+			fmt.Printf("%-16s %-18s %10d %10d %10d %12.0f  %s\n",
+				row.Workload, row.Strategy, row.States, row.Edges, row.DedupHits, row.StatesPerSec, ok)
+		}
+		for _, row := range rep.Workloads {
+			if !row.OK {
+				fmt.Fprintf(os.Stderr, "paperbench: %s/%s diverged from recorded expectation: %s\n",
+					row.Workload, row.Strategy, row.Diag)
+			}
+		}
+	}
+
+	rep.TotalMillis = float64(time.Since(start).Microseconds()) / 1000
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("json report written to %s\n", *jsonOut)
+	}
+
+	if !rep.OK {
+		os.Exit(1)
+	}
 }

@@ -17,6 +17,14 @@
 //	psa -anomalies prog.cb
 //	psa -hoist loop:flag -constprop use:k prog.cb
 //	psa -abstract sign prog.cb
+//	psa -metrics prog.cb
+//	psa -metrics-json out.json prog.cb
+//
+// Observability: -metrics prints an engine-counter report (states
+// generated/deduped per BFS level, stubborn-set decisions, widening and
+// join events, per-phase wall-clock) after the analyses; -metrics-json
+// writes the same snapshot as JSON; -progress prints a periodic
+// states/sec line to stderr during long explorations.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"psa/internal/absdom"
 	"psa/internal/core"
 	"psa/internal/lang"
+	"psa/internal/metrics"
 )
 
 func main() {
@@ -48,6 +57,9 @@ func main() {
 		unreachable = flag.Bool("unreachable", false, "report statements no execution can reach")
 		invariants  = flag.String("invariants", "", "label: print the abstract value of every global at that statement")
 		report      = flag.Bool("report", false, "print a full markdown analysis report")
+		showMetrics = flag.Bool("metrics", false, "print the engine metrics report after the analyses")
+		metricsJSON = flag.String("metrics-json", "", "write the engine metrics snapshot as JSON to this file")
+		progress    = flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 2s)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -65,6 +77,18 @@ func main() {
 		fmt.Print(a.Format())
 		return
 	}
+
+	// One registry spans every analysis the invocation runs; phases keep
+	// the explorations and abstract runs apart in the report.
+	var reg *metrics.Registry
+	if *showMetrics || *metricsJSON != "" || *progress > 0 {
+		reg = metrics.New()
+	}
+	if *progress > 0 {
+		stop := reg.StartProgress(os.Stderr, *progress)
+		defer stop()
+	}
+
 	ran := false
 
 	if *doExplore {
@@ -77,6 +101,7 @@ func main() {
 			{"stubborn", core.ExploreOptions{Reduction: core.Stubborn}},
 			{"stubborn+coarsen", core.ExploreOptions{Reduction: core.Stubborn, Coarsen: true}},
 		} {
+			cfg.opts.Metrics = reg
 			res := a.Explore(cfg.opts)
 			fmt.Printf("%-17s %s\n", cfg.name+":", res)
 		}
@@ -157,7 +182,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown domain %q (const|sign|interval)\n", *abstract)
 			os.Exit(2)
 		}
-		res := a.AbstractWith(core.AbstractOptions{Domain: dom, ClanFold: *clan})
+		res := a.AbstractWith(core.AbstractOptions{Domain: dom, ClanFold: *clan, Metrics: reg})
 		fmt.Println(res)
 		for _, g := range a.Prog.Globals {
 			if v, ok := res.GlobalInvariant(g.Name); ok {
@@ -233,11 +258,34 @@ func main() {
 
 	if !ran {
 		// Default action: quick exploration summary plus anomalies.
-		res := a.Explore(core.ExploreOptions{Reduction: core.Stubborn, Coarsen: true})
+		res := a.Explore(core.ExploreOptions{Reduction: core.Stubborn, Coarsen: true, Metrics: reg})
 		fmt.Println(res)
 		for _, an := range a.Anomalies() {
 			fmt.Printf("anomaly between %s and %s on %s\n",
 				describeNode(a.Prog, an.StmtA), describeNode(a.Prog, an.StmtB), an.Loc)
+		}
+	}
+
+	if reg != nil {
+		snap := reg.Snapshot()
+		if *showMetrics {
+			snap.WriteTable(os.Stdout)
+		}
+		if *metricsJSON != "" {
+			f, err := os.Create(*metricsJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := snap.WriteJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics written to %s\n", *metricsJSON)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -278,6 +279,131 @@ func TestPsaReport(t *testing.T) {
 	for _, want := range []string{"# psa analysis report", "## State space", "## Access anomalies"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPsaMetricsFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "./cmd/psa")
+	prog := writeProg(t, dir)
+
+	out := run(t, bin, "-metrics", prog)
+	for _, want := range []string{"states_unique", "dedup_hits", "phase explore", "levels ("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-metrics output missing %q:\n%s", want, out)
+		}
+	}
+
+	jsonPath := filepath.Join(dir, "metrics.json")
+	run(t, bin, "-metrics-json", jsonPath, prog)
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("metrics json: %v", err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+		Levels   []map[string]any `json:"levels"`
+		Phases   []map[string]any `json:"phases"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics json does not parse: %v\n%s", err, data)
+	}
+	if snap.Counters["states_unique"] == 0 || snap.Counters["transitions_fired"] == 0 {
+		t.Errorf("metrics json missing counters: %v", snap.Counters)
+	}
+	// The default action explores with stubborn reduction, so decision
+	// counters must be present (singleton, partial, or full fallback).
+	if snap.Counters["stubborn_singleton"]+snap.Counters["stubborn_partial"]+snap.Counters["stubborn_full_fallback"] == 0 {
+		t.Errorf("metrics json missing stubborn decisions: %v", snap.Counters)
+	}
+	if len(snap.Levels) == 0 {
+		t.Error("metrics json has no per-level stats")
+	}
+	if len(snap.Phases) == 0 {
+		t.Error("metrics json has no phase timings")
+	}
+
+	// Progress lines go to stderr and must not corrupt stdout parsing.
+	out = run(t, bin, "-progress", "1ms", prog)
+	if !strings.Contains(out, "states=") {
+		t.Errorf("-progress run lost the summary:\n%s", out)
+	}
+}
+
+func TestExploreObservabilityFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "./cmd/explore")
+	prog := writeProg(t, dir)
+
+	jsonPath := filepath.Join(dir, "metrics.json")
+	tracePath := filepath.Join(dir, "trace.out")
+	out := run(t, bin, "-reduction", "stubborn", "-workers", "4",
+		"-metrics-json", jsonPath, "-trace", tracePath, prog)
+	if !strings.Contains(out, "metrics written to") {
+		t.Errorf("missing metrics confirmation:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("metrics json: %v", err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics json does not parse: %v", err)
+	}
+	if snap.Counters["states_unique"] == 0 {
+		t.Errorf("metrics json empty: %v", snap.Counters)
+	}
+	if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
+		t.Errorf("runtime trace not written: %v", err)
+	}
+}
+
+func TestPaperbenchJSONAndGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "./cmd/paperbench")
+	jsonPath := filepath.Join(dir, "report.json")
+	out := run(t, bin, "-small", "-json", jsonPath)
+	if !strings.Contains(out, "workload") || !strings.Contains(out, "ok") {
+		t.Errorf("verification table missing:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("json report: %v", err)
+	}
+	var rep struct {
+		OK          bool             `json:"ok"`
+		Experiments []map[string]any `json:"experiments"`
+		Workloads   []struct {
+			Workload string `json:"workload"`
+			States   int    `json:"states"`
+			OK       bool   `json:"ok"`
+		} `json:"workloads"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("json report does not parse: %v", err)
+	}
+	if !rep.OK {
+		t.Error("report not OK on a clean tree")
+	}
+	if len(rep.Experiments) == 0 || len(rep.Workloads) == 0 {
+		t.Errorf("report missing rows: %d experiments, %d workloads",
+			len(rep.Experiments), len(rep.Workloads))
+	}
+	for _, w := range rep.Workloads {
+		if !w.OK {
+			t.Errorf("workload %s diverged in a clean tree", w.Workload)
 		}
 	}
 }

@@ -11,6 +11,16 @@
 // inventory); cmd/psa, cmd/explore and cmd/paperbench are the command-line
 // tools; bench_test.go regenerates every figure and table of the paper's
 // evaluation (see EXPERIMENTS.md).
+//
+// The engines are instrumented through internal/metrics, a nil-safe
+// registry of atomic counters, per-level statistics, and phase timings
+// that costs nothing when disabled. The tools expose it via -metrics /
+// -metrics-json / -progress (and, on cmd/explore, -pprof and -trace);
+// cmd/paperbench embeds the same counters in its machine-readable
+// report and exits non-zero if any workload diverges from the recorded
+// paper expectations. CI (.github/workflows/ci.yml, mirrored by `make
+// ci`) gates every change on the full suite, the race detector, and a
+// bench smoke run.
 package psa
 
 // Version identifies the reproduction release.

@@ -6,6 +6,7 @@ import (
 
 	"psa/internal/absdom"
 	"psa/internal/lang"
+	"psa/internal/metrics"
 	"psa/internal/sem"
 )
 
@@ -31,6 +32,10 @@ type Options struct {
 	// (Result.FootprintOf / Conflicts) — the §5.2 dependences computed
 	// from the abstract semantics with no concrete exploration.
 	CollectFootprints bool
+	// Metrics, when non-nil, receives worklist/visit counts, join and
+	// widening events, and phase wall-clock during the fixpoint
+	// iteration. Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 func (o *Options) fill() {
@@ -140,6 +145,8 @@ type aState struct {
 // Analyze runs the abstract interpretation of prog to a fixpoint.
 func Analyze(prog *lang.Program, opts Options) *Result {
 	opts.fill()
+	m := opts.Metrics
+	defer m.Phase("abstract")()
 	sc := &stepCtx{
 		prog:    prog,
 		dom:     opts.Domain,
@@ -161,12 +168,15 @@ func Analyze(prog *lang.Program, opts Options) *Result {
 	queue := []ctrlSig{sig0}
 
 	for len(queue) > 0 {
+		m.SetGauge(metrics.QueueLen, int64(len(queue)))
+		m.MaxGauge(metrics.MaxFrontier, int64(len(queue)))
 		sig := queue[0]
 		queue = queue[1:]
 		stv := states[sig]
 		stv.queued = false
 		stv.visits++
 		res.Visits++
+		m.Inc(metrics.AbsVisits)
 
 		enabled := stv.cfg.enabled()
 		if len(enabled) == 0 {
@@ -190,6 +200,7 @@ func Analyze(prog *lang.Program, opts Options) *Result {
 					if len(states) >= opts.MaxStates {
 						res.Truncated = true
 						res.States = len(states)
+						m.Add(metrics.AbsStates, int64(len(states)))
 						return res
 					}
 					cur = &aState{cfg: succ.deepCopy()}
@@ -199,6 +210,10 @@ func Analyze(prog *lang.Program, opts Options) *Result {
 					continue
 				}
 				widen := cur.visits >= opts.WidenAfter
+				m.Inc(metrics.AbsJoins)
+				if widen {
+					m.Inc(metrics.AbsWidenings)
+				}
 				if cur.cfg.joinInto(succ, widen) && !cur.queued {
 					cur.queued = true
 					queue = append(queue, nsig)
@@ -208,6 +223,7 @@ func Analyze(prog *lang.Program, opts Options) *Result {
 	}
 
 	res.States = len(states)
+	m.Add(metrics.AbsStates, int64(len(states)))
 	res.at = map[lang.NodeID]*absdom.Store{}
 	for _, stv := range states {
 		for _, p := range stv.cfg.Procs {

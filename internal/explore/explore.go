@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"psa/internal/lang"
+	"psa/internal/metrics"
 	"psa/internal/sem"
 )
 
@@ -64,13 +65,19 @@ type Options struct {
 	// differences then keep configurations apart.
 	NoCanonKeys bool
 	// Workers > 1 explores with that many goroutines (level-synchronized
-	// BFS); 0 or 1 is sequential. All counts and result sets are
-	// identical to the sequential explorer's; only the graph's discovery
-	// parents may differ when two same-level states tie for a successor.
+	// BFS); 0 or 1 is sequential. Counts, result sets, discovery
+	// parents, frontier order, and the sink event stream are all
+	// identical to the sequential explorer's.
 	Workers int
 	// Sink, when non-nil, receives instrumentation callbacks during
 	// exploration regardless of CollectEvents.
 	Sink Sink
+	// Metrics, when non-nil, receives counters, gauges, per-level stats,
+	// and phase timings during exploration (states generated/deduped,
+	// frontier widths, stubborn-set decisions, coarsened steps). Nil
+	// disables instrumentation; the fast path is a single nil check, and
+	// enabling it never perturbs counts or the deterministic sink order.
+	Metrics *metrics.Registry
 }
 
 // Sink receives instrumentation during exploration. Implementations live
@@ -125,6 +132,8 @@ func ExploreFrom(c0 *sem.Config, opts Options) *Result {
 	if opts.Workers > 1 || opts.Workers < 0 {
 		return exploreParallel(c0, opts, opts.Workers)
 	}
+	m := opts.Metrics
+	defer m.Phase("explore")()
 	var sm *sem.Summaries
 	if opts.Reduction == Stubborn {
 		sm = sem.NewSummaries(c0.Prog)
@@ -146,12 +155,23 @@ func ExploreFrom(c0 *sem.Config, opts Options) *Result {
 	queue := []item{{c0, k0}}
 	seen[k0] = true
 	res.States = 1
+	m.Inc(metrics.StatesUnique)
 	if res.Graph != nil {
 		res.Graph.Nodes[k0] = &Node{Key: k0, Index: 0}
 		res.Graph.Order = append(res.Graph.Order, k0)
 	}
 
+	// The FIFO queue visits configurations in BFS-level order, so level
+	// boundaries fall where the countdown of the current wave hits zero.
+	levelRemaining := len(queue)
+	m.BeginLevel(len(queue))
 	for len(queue) > 0 {
+		if levelRemaining == 0 {
+			m.EndLevel()
+			levelRemaining = len(queue)
+			m.BeginLevel(len(queue))
+		}
+		levelRemaining--
 		if len(queue) > res.MaxFrontier {
 			res.MaxFrontier = len(queue)
 		}
@@ -161,8 +181,10 @@ func ExploreFrom(c0 *sem.Config, opts Options) *Result {
 		enabled := cur.cfg.Enabled()
 		if len(enabled) == 0 {
 			res.Terminals[cur.key] = cur.cfg
+			m.Inc(metrics.TerminalsSeen)
 			if cur.cfg.Err != "" {
 				res.Errors = append(res.Errors, cur.cfg)
+				m.Inc(metrics.ErrorsSeen)
 			}
 			if res.Graph != nil {
 				n := res.Graph.Nodes[cur.key]
@@ -179,6 +201,7 @@ func ExploreFrom(c0 *sem.Config, opts Options) *Result {
 		expand := enabled
 		if opts.Reduction == Stubborn {
 			expand = stubbornSet(cur.cfg, enabled, sm)
+			countStubbornDecision(m, len(expand), len(enabled))
 		}
 
 		// A coarsened run may only absorb a critical action beyond its
@@ -188,8 +211,11 @@ func ExploreFrom(c0 *sem.Config, opts Options) *Result {
 		absorbLateCritical := opts.Reduction == Full
 
 		for _, pi := range expand {
-			step := fire(cur.cfg, pi, opts, absorbLateCritical)
+			step, absorbed := fire(cur.cfg, pi, opts, absorbLateCritical)
 			res.Edges++
+			m.Inc(metrics.TransitionsFired)
+			m.Inc(metrics.StatesGenerated)
+			m.Add(metrics.CoarsenedSteps, int64(absorbed))
 			if opts.Sink != nil {
 				opts.Sink.Transition(step)
 			}
@@ -205,6 +231,7 @@ func ExploreFrom(c0 *sem.Config, opts Options) *Result {
 			if !seen[k] {
 				seen[k] = true
 				res.States++
+				m.Inc(metrics.StatesUnique)
 				if res.Graph != nil {
 					res.Graph.Nodes[k] = &Node{
 						Key: k, Index: len(res.Graph.Order),
@@ -214,24 +241,49 @@ func ExploreFrom(c0 *sem.Config, opts Options) *Result {
 				}
 				if res.States >= opts.MaxConfigs {
 					res.Truncated = true
+					m.EndLevel()
 					return res
 				}
 				queue = append(queue, item{step.Config, k})
+			} else {
+				m.Inc(metrics.DedupHits)
 			}
 		}
 	}
+	m.EndLevel()
 	return res
 }
 
-// fire executes one (possibly coarsened) transition of process pi.
-func fire(c *sem.Config, pi int, opts Options, absorbLateCritical bool) *sem.StepResult {
+// countStubbornDecision classifies the outcome of one stubborn-set
+// computation at an expansion step with more than one enabled process:
+// a singleton set (best case), a proper subset, or full fallback.
+func countStubbornDecision(m *metrics.Registry, expanded, enabled int) {
+	if m == nil || enabled <= 1 {
+		return
+	}
+	switch {
+	case expanded == 1:
+		m.Inc(metrics.StubbornSingleton)
+	case expanded == enabled:
+		m.Inc(metrics.StubbornFullFallback)
+	default:
+		m.Inc(metrics.StubbornPartial)
+	}
+}
+
+// fire executes one (possibly coarsened) transition of process pi and
+// reports how many extra micro-steps the run absorbed. The count is
+// returned rather than recorded so each explorer can credit it in its
+// own (serial, deterministic) accounting loop.
+func fire(c *sem.Config, pi int, opts Options, absorbLateCritical bool) (*sem.StepResult, int) {
 	budget := 0
 	if absorbLateCritical && !c.AccessCritical(c.NextAccess(pi)) {
 		budget = 1
 	}
+	absorbed := 0
 	step := c.Step(pi)
 	if !opts.Coarsen {
-		return step
+		return step, absorbed
 	}
 	// Virtual coarsening: keep extending the run while the same process
 	// is enabled, absorbing any number of non-critical actions and at
@@ -243,11 +295,11 @@ func fire(c *sem.Config, pi int, opts Options, absorbLateCritical bool) *sem.Ste
 	for n := 0; n < maxRun; n++ {
 		nc := step.Config
 		if nc.Err != "" {
-			return step
+			return step, absorbed
 		}
 		pj := procIndex(nc, path)
 		if pj < 0 {
-			return step // process finished (join)
+			return step, absorbed // process finished (join)
 		}
 		enabledHere := false
 		for _, e := range nc.Enabled() {
@@ -257,23 +309,24 @@ func fire(c *sem.Config, pi int, opts Options, absorbLateCritical bool) *sem.Ste
 			}
 		}
 		if !enabledHere {
-			return step
+			return step, absorbed
 		}
 		// Fork boundaries stay visible: a cobegin creates processes, so
 		// stop the run before it.
 		if s := nc.NextStmt(pj); s != nil {
 			if _, isFork := s.(*lang.CobeginStmt); isFork {
-				return step
+				return step, absorbed
 			}
 		}
 		acc := nc.NextAccess(pj)
 		if nc.AccessCritical(acc) {
 			if budget == 0 {
-				return step
+				return step, absorbed
 			}
 			budget--
 		}
 		next := nc.Step(pj)
+		absorbed++
 		step = &sem.StepResult{
 			Config: next.Config,
 			Events: append(step.Events, next.Events...),
@@ -282,7 +335,7 @@ func fire(c *sem.Config, pi int, opts Options, absorbLateCritical bool) *sem.Ste
 			Proc:   path,
 		}
 	}
-	return step
+	return step, absorbed
 }
 
 func procIndex(c *sem.Config, path string) int {

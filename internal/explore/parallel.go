@@ -4,24 +4,36 @@ import (
 	"runtime"
 	"sync"
 
+	"psa/internal/metrics"
 	"psa/internal/sem"
 )
 
 // exploreParallel is the multi-worker variant of ExploreFrom: a
 // level-synchronized breadth-first generation of the configuration space.
-// Each BFS level's frontier is split across workers; configuration
-// identity is deduplicated through a striped visited set, so the state
-// count, terminal set, and edge count are EXACTLY those of the
-// sequential explorer (the paper's numbers do not depend on how many
+// Each BFS level's frontier is split across workers, which do the
+// expensive work (enabledness, stubborn sets, firing, canonical
+// encoding) in parallel; configuration identity is then deduplicated in
+// the serial per-level merge, so the state count, terminal set, edge
+// count, discovery parents, AND frontier ordering are EXACTLY those of
+// the sequential explorer (the paper's numbers do not depend on how many
 // cores generated them — verified by differential tests).
 //
-// Instrumentation (Sink callbacks, collected events, graph bookkeeping)
-// is serialized per level in deterministic frontier order, so sinks see
-// the same stream regardless of worker count.
+// Instrumentation (Sink callbacks, metrics, collected events, graph
+// bookkeeping) is serialized per level in deterministic frontier order,
+// so sinks and the metrics registry see the same stream as a sequential
+// run, regardless of worker count.
 func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Metrics discipline: every counter that must match the sequential
+	// explorer exactly (state/edge/dedup, level stats, stubborn
+	// decisions, coarsened steps) is recorded in the serial merge loop
+	// below — workers only compute and report; they never touch the
+	// registry. In particular fire() returns its absorbed-step count so
+	// speculative work past a truncation cut is not counted.
+	m := opts.Metrics
+	defer m.Phase("explore")()
 	var sm *sem.Summaries
 	if opts.Reduction == Stubborn {
 		sm = sem.NewSummaries(c0.Prog)
@@ -40,28 +52,17 @@ func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
 		cfg *sem.Config
 		key sem.Key
 	}
-	// Striped visited set: lock contention spread over buckets.
-	const stripes = 64
-	var seenMu [stripes]sync.Mutex
-	seen := [stripes]map[sem.Key]bool{}
-	for i := range seen {
-		seen[i] = map[sem.Key]bool{}
-	}
-	claim := func(k sem.Key) bool {
-		s := int(k.Hash() % stripes)
-		seenMu[s].Lock()
-		defer seenMu[s].Unlock()
-		if seen[s][k] {
-			return false
-		}
-		seen[s][k] = true
-		return true
-	}
+	// Visited set, consulted only in the serial merge: dedup order (and
+	// therefore discovery-parent attribution and next-frontier order)
+	// must match the sequential explorer exactly, so freshness cannot be
+	// decided by racing workers.
+	seen := map[sem.Key]bool{}
 
 	k0 := keyOf(c0)
-	claim(k0)
+	seen[k0] = true
 	frontier := []item{{c0, k0}}
 	res.States = 1
+	m.Inc(metrics.StatesUnique)
 	if res.Graph != nil {
 		res.Graph.Nodes[k0] = &Node{Key: k0, Index: 0}
 		res.Graph.Order = append(res.Graph.Order, k0)
@@ -72,13 +73,14 @@ func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
 		enabled  []int
 		steps    []*sem.StepResult
 		keys     []sem.Key
-		fresh    []bool
+		absorbed []int // coarsened micro-steps per fired transition
 	}
 
 	for len(frontier) > 0 {
 		if len(frontier) > res.MaxFrontier {
 			res.MaxFrontier = len(frontier)
 		}
+		m.BeginLevel(len(frontier))
 		exps := make([]expansion, len(frontier))
 
 		var wg sync.WaitGroup
@@ -109,11 +111,11 @@ func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
 					}
 					absorbLateCritical := opts.Reduction == Full
 					for _, pi := range expand {
-						step := fire(cur.cfg, pi, opts, absorbLateCritical)
+						step, absorbed := fire(cur.cfg, pi, opts, absorbLateCritical)
 						k := keyOf(step.Config)
 						e.steps = append(e.steps, step)
 						e.keys = append(e.keys, k)
-						e.fresh = append(e.fresh, claim(k))
+						e.absorbed = append(e.absorbed, absorbed)
 					}
 				}
 			}(lo, hi)
@@ -127,8 +129,10 @@ func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
 			e := &exps[i]
 			if e.terminal {
 				res.Terminals[cur.key] = cur.cfg
+				m.Inc(metrics.TerminalsSeen)
 				if cur.cfg.Err != "" {
 					res.Errors = append(res.Errors, cur.cfg)
+					m.Inc(metrics.ErrorsSeen)
 				}
 				if res.Graph != nil {
 					n := res.Graph.Nodes[cur.key]
@@ -140,8 +144,14 @@ func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
 			if opts.Sink != nil {
 				reportCoEnabled(cur.cfg, e.enabled, opts.Sink)
 			}
+			if opts.Reduction == Stubborn {
+				countStubbornDecision(m, len(e.steps), len(e.enabled))
+			}
 			for j, step := range e.steps {
 				res.Edges++
+				m.Inc(metrics.TransitionsFired)
+				m.Inc(metrics.StatesGenerated)
+				m.Add(metrics.CoarsenedSteps, int64(e.absorbed[j]))
 				if opts.Sink != nil {
 					opts.Sink.Transition(step)
 				}
@@ -154,8 +164,10 @@ func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
 					res.Graph.Nodes[cur.key].Out = append(res.Graph.Nodes[cur.key].Out,
 						Edge{To: k, Proc: step.Proc, Stmt: describeStep(step)})
 				}
-				if e.fresh[j] {
+				if !seen[k] {
+					seen[k] = true
 					res.States++
+					m.Inc(metrics.StatesUnique)
 					if res.Graph != nil {
 						res.Graph.Nodes[k] = &Node{
 							Key: k, Index: len(res.Graph.Order),
@@ -165,12 +177,16 @@ func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
 					}
 					if res.States >= opts.MaxConfigs {
 						res.Truncated = true
+						m.EndLevel()
 						return res
 					}
 					next = append(next, item{step.Config, k})
+				} else {
+					m.Inc(metrics.DedupHits)
 				}
 			}
 		}
+		m.EndLevel()
 		frontier = next
 	}
 	return res

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// StartProgress launches a sampler goroutine that writes a one-line
+// progress report to w every interval until the returned stop function
+// is called: unique states so far, discovery rate over the last window,
+// current BFS level and frontier width, and a drain-time ETA heuristic
+// (frontier ÷ current expansion rate — exact for a shrinking frontier,
+// a lower bound while it still grows).
+//
+// The sampler only reads atomics; it never blocks the explorer. Safe on
+// the nil registry (returns a no-op stop).
+func (r *Registry) StartProgress(w io.Writer, interval time.Duration) (stop func()) {
+	if r == nil || w == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		lastStates := r.Get(StatesUnique)
+		lastTime := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				states := r.Get(StatesUnique)
+				rate := float64(states-lastStates) / now.Sub(lastTime).Seconds()
+				lastStates, lastTime = states, now
+				frontier := r.Gauge(FrontierWidth)
+				line := fmt.Sprintf("progress: states=%d (%.0f/s) level=%d frontier=%d elapsed=%v",
+					states, rate, r.Gauge(Level), frontier, r.Elapsed().Round(time.Second))
+				if rate > 0 && frontier > 0 {
+					eta := time.Duration(float64(frontier) / rate * float64(time.Second))
+					line += fmt.Sprintf(" eta~%v", eta.Round(time.Second))
+				}
+				fmt.Fprintln(w, line)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

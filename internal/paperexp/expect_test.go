@@ -1,0 +1,37 @@
+package paperexp
+
+import "testing"
+
+// Every recorded expectation must hold on the current engine — this is
+// the same gate cmd/paperbench (and CI) enforces.
+func TestExpectationsHold(t *testing.T) {
+	for _, row := range VerifyWorkloads() {
+		if !row.OK {
+			t.Errorf("%s/%s: %s", row.Workload, row.Strategy, row.Diag)
+			continue
+		}
+		if row.States != row.WantStates {
+			t.Errorf("%s/%s: OK row with states %d != want %d",
+				row.Workload, row.Strategy, row.States, row.WantStates)
+		}
+		if row.Levels == 0 || row.MaxFrontier == 0 {
+			t.Errorf("%s/%s: metrics not populated: %+v", row.Workload, row.Strategy, row)
+		}
+	}
+}
+
+// A deliberately corrupted expectation must produce a diagnostic row —
+// the divergence path the CI gate relies on.
+func TestExpectationDivergenceDetected(t *testing.T) {
+	e := Expectations()[0]
+	e.States++ // corrupt the recorded count
+	bad := []Expectation{e}
+	// Inline re-run mirroring VerifyWorkloads on the corrupted record.
+	rows := verifyAgainst(bad)
+	if len(rows) != 1 || rows[0].OK {
+		t.Fatalf("corrupted expectation not flagged: %+v", rows)
+	}
+	if rows[0].Diag == "" {
+		t.Error("divergent row carries no diagnostic")
+	}
+}
