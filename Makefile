@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench paperbench examples clean \
+.PHONY: all build test test-short vet bench benchcmp paperbench examples clean \
 	fmt fmt-check race bench-smoke ci
 
 all: build vet test
@@ -21,6 +21,19 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Local mirror of the CI bench-compare job: benchmark the working tree
+# against BASE (default origin/main) and print the benchstat delta.
+# Requires benchstat (go install golang.org/x/perf/cmd/benchstat@latest).
+BASE ?= origin/main
+BENCH_PAT ?= BenchmarkPhilosophers|BenchmarkEncode|BenchmarkParallelExploration
+benchcmp:
+	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -count=6 . > /tmp/bench-head.txt
+	@tmp=$$(mktemp -d); \
+	git worktree add --quiet --detach $$tmp $(BASE) || exit 1; \
+	( cd $$tmp && $(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -count=6 . > /tmp/bench-base.txt ); \
+	st=$$?; git worktree remove --force $$tmp; exit $$st
+	benchstat /tmp/bench-base.txt /tmp/bench-head.txt
 
 paperbench:
 	$(GO) run ./cmd/paperbench

@@ -232,6 +232,19 @@ func BenchmarkEncode(b *testing.B) {
 	}
 }
 
+// BenchmarkFingerprint measures the streaming state-identity path the
+// explorers use by default: same canonical walk as Encode, but hashed
+// into two 64-bit lanes without materializing the key string.
+func BenchmarkFingerprint(b *testing.B) {
+	prog := workloads.Philosophers(4)
+	c := sem.NewConfig(prog)
+	c = c.Step(0).Config
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Fingerprint()
+	}
+}
+
 func BenchmarkNextAccess(b *testing.B) {
 	prog := workloads.Philosophers(4)
 	c := sem.NewConfig(prog)

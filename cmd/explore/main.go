@@ -44,6 +44,7 @@ func main() {
 		gran       = flag.String("granularity", "ref", "transition granularity: ref (paper model) or stmt")
 		max        = flag.Int("max", 1<<20, "configuration cap")
 		workers    = flag.Int("workers", 1, "explorer goroutines (level-synchronized BFS; >1 enables parallel exploration)")
+		exactKeys  = flag.Bool("exact-keys", false, "store full canonical keys in the visited set instead of 128-bit fingerprints (more memory, zero collision risk)")
 		outcomes   = flag.String("outcomes", "", "comma-separated globals: print the terminal outcome set")
 		terminals  = flag.Bool("terminals", false, "print every terminal configuration")
 		compare    = flag.Bool("compare", false, "run all reduction combinations and compare")
@@ -145,6 +146,7 @@ func main() {
 		for i, c := range combos {
 			c.opts.MaxConfigs = *max
 			c.opts.Metrics = reg
+			c.opts.ExactKeys = *exactKeys
 			res := a.Explore(c.opts)
 			marker := ""
 			if i == 0 {
@@ -157,7 +159,7 @@ func main() {
 		return
 	}
 
-	opts := core.ExploreOptions{Coarsen: *coarsen, MaxConfigs: *max, Workers: *workers, Metrics: reg}
+	opts := core.ExploreOptions{Coarsen: *coarsen, MaxConfigs: *max, Workers: *workers, Metrics: reg, ExactKeys: *exactKeys}
 	switch *reduction {
 	case "full":
 		opts.Reduction = core.Full

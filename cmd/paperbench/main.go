@@ -34,6 +34,7 @@ type report struct {
 	GoArch      string                 `json:"goarch"`
 	GoVersion   string                 `json:"go_version"`
 	Small       bool                   `json:"small"`
+	ExactKeys   bool                   `json:"exact_keys"`
 	Experiments []experimentRow        `json:"experiments"`
 	Workloads   []paperexp.WorkloadRow `json:"workloads,omitempty"`
 	TotalMillis float64                `json:"total_millis"`
@@ -53,6 +54,7 @@ func main() {
 	small := flag.Bool("small", false, "smaller sweeps (n≤4 philosophers) for quick runs")
 	only := flag.String("only", "", "run a single experiment by ID (e.g. E4)")
 	verify := flag.Bool("verify", true, "check reference workloads against recorded state counts; exit 1 on divergence")
+	exactKeys := flag.Bool("exact-keys", false, "verify the reference workloads with full canonical keys instead of the default 128-bit fingerprints")
 	jsonOut := flag.String("json", "", "write a machine-readable report (experiments + per-workload metrics rows) to this file")
 	flag.Parse()
 
@@ -62,6 +64,7 @@ func main() {
 		GoArch:    runtime.GOARCH,
 		GoVersion: runtime.Version(),
 		Small:     *small,
+		ExactKeys: *exactKeys,
 		OK:        true,
 	}
 
@@ -93,17 +96,17 @@ func main() {
 	// requested (exploratory use), unless verification was forced off
 	// anyway.
 	if *verify && *only == "" {
-		rep.Workloads = paperexp.VerifyWorkloads()
-		fmt.Printf("%-16s %-18s %10s %10s %10s %12s  %s\n",
-			"workload", "strategy", "states", "edges", "dedup", "states/sec", "ok")
+		rep.Workloads = paperexp.VerifyWorkloadsMode(*exactKeys)
+		fmt.Printf("%-16s %-18s %10s %10s %10s %12s %12s  %s\n",
+			"workload", "strategy", "states", "edges", "dedup", "states/sec", "visited(B)", "ok")
 		for _, row := range rep.Workloads {
 			ok := "ok"
 			if !row.OK {
 				ok = "DIVERGED"
 				rep.OK = false
 			}
-			fmt.Printf("%-16s %-18s %10d %10d %10d %12.0f  %s\n",
-				row.Workload, row.Strategy, row.States, row.Edges, row.DedupHits, row.StatesPerSec, ok)
+			fmt.Printf("%-16s %-18s %10d %10d %10d %12.0f %12d  %s\n",
+				row.Workload, row.Strategy, row.States, row.Edges, row.DedupHits, row.StatesPerSec, row.VisitedBytes, ok)
 		}
 		for _, row := range rep.Workloads {
 			if !row.OK {

@@ -17,6 +17,7 @@
 package explore
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -64,6 +65,13 @@ type Options struct {
 	// identity (the DESIGN.md §5 ablation): allocation-order and garbage
 	// differences then keep configurations apart.
 	NoCanonKeys bool
+	// ExactKeys stores full canonical keys in the visited set instead of
+	// the default 128-bit fingerprints. Fingerprint mode retains 16
+	// bytes per state and never materializes successor keys at all
+	// (terminals are still keyed exactly, lazily); two distinct states
+	// fuse with probability ~n²/2¹²⁹ — see sem.Fingerprint. KeepGraph
+	// implies exact keys, since graph nodes are addressed by key.
+	ExactKeys bool
 	// Workers > 1 explores with that many goroutines (level-synchronized
 	// BFS); 0 or 1 is sequential. Counts, result sets, discovery
 	// parents, frontier order, and the sink event stream are all
@@ -142,45 +150,66 @@ func ExploreFrom(c0 *sem.Config, opts Options) *Result {
 	if opts.KeepGraph {
 		res.Graph = &Graph{Nodes: map[sem.Key]*Node{}}
 	}
-	type item struct {
-		cfg *sem.Config
-		key sem.Key
+	ky := newKeyer(opts)
+	vis := newVisited(ky.exact)
+	defer recordVisitedStats(m, vis)()
+
+	queue := make([]item, 0, 64)
+	head := 0
+	if ky.exact {
+		k0 := ky.keyOf(c0)
+		vis.addKey(k0)
+		queue = append(queue, item{c0, k0})
+		if res.Graph != nil {
+			res.Graph.Nodes[k0] = &Node{Key: k0, Index: 0}
+			res.Graph.Order = append(res.Graph.Order, k0)
+		}
+	} else {
+		vis.addFP(ky.fpOf(c0))
+		queue = append(queue, item{cfg: c0})
 	}
-	keyOf := (*sem.Config).Encode
-	if opts.NoCanonKeys {
-		keyOf = (*sem.Config).EncodeNoCanon
-	}
-	seen := map[sem.Key]bool{}
-	k0 := keyOf(c0)
-	queue := []item{{c0, k0}}
-	seen[k0] = true
 	res.States = 1
 	m.Inc(metrics.StatesUnique)
-	if res.Graph != nil {
-		res.Graph.Nodes[k0] = &Node{Key: k0, Index: 0}
-		res.Graph.Order = append(res.Graph.Order, k0)
-	}
 
 	// The FIFO queue visits configurations in BFS-level order, so level
 	// boundaries fall where the countdown of the current wave hits zero.
 	levelRemaining := len(queue)
 	m.BeginLevel(len(queue))
-	for len(queue) > 0 {
+	for head < len(queue) {
 		if levelRemaining == 0 {
 			m.EndLevel()
-			levelRemaining = len(queue)
-			m.BeginLevel(len(queue))
+			levelRemaining = len(queue) - head
+			m.BeginLevel(levelRemaining)
 		}
 		levelRemaining--
-		if len(queue) > res.MaxFrontier {
-			res.MaxFrontier = len(queue)
+		if size := len(queue) - head; size > res.MaxFrontier {
+			res.MaxFrontier = size
 		}
-		cur := queue[0]
-		queue = queue[1:]
+		// Pop through a head index, zeroing the vacated slot: walking the
+		// slice with queue = queue[1:] would pin every popped *sem.Config
+		// (and key) in the backing array until exploration ends. Once the
+		// dead prefix dominates a large queue, compact the live tail to
+		// the front so append can reuse the space.
+		cur := queue[head]
+		queue[head] = item{}
+		head++
+		if head >= 1024 && head*2 >= len(queue) {
+			n := copy(queue, queue[head:])
+			stale := queue[n:]
+			for i := range stale {
+				stale[i] = item{}
+			}
+			queue = queue[:n]
+			head = 0
+		}
 
 		enabled := cur.cfg.Enabled()
 		if len(enabled) == 0 {
-			res.Terminals[cur.key] = cur.cfg
+			tk := cur.key
+			if !ky.exact {
+				tk = ky.keyOf(cur.cfg)
+			}
+			res.Terminals[tk] = cur.cfg
 			m.Inc(metrics.TerminalsSeen)
 			if cur.cfg.Err != "" {
 				res.Errors = append(res.Errors, cur.cfg)
@@ -223,13 +252,19 @@ func ExploreFrom(c0 *sem.Config, opts Options) *Result {
 				res.Events = append(res.Events, step.Events...)
 				res.Allocs = append(res.Allocs, step.Allocs...)
 			}
-			k := keyOf(step.Config)
+			var k sem.Key
+			var fresh bool
+			if ky.exact {
+				k = ky.keyOf(step.Config)
+				fresh = vis.addKey(k)
+			} else {
+				fresh = vis.addFP(ky.fpOf(step.Config))
+			}
 			if res.Graph != nil {
 				res.Graph.Nodes[cur.key].Out = append(res.Graph.Nodes[cur.key].Out,
 					Edge{To: k, Proc: step.Proc, Stmt: describeStep(step)})
 			}
-			if !seen[k] {
-				seen[k] = true
+			if fresh {
 				res.States++
 				m.Inc(metrics.StatesUnique)
 				if res.Graph != nil {
@@ -271,17 +306,112 @@ func countStubbornDecision(m *metrics.Registry, expanded, enabled int) {
 	}
 }
 
+// item is one frontier entry: the configuration plus, in exact-key mode,
+// its canonical key (empty in fingerprint mode — identity was already
+// checked when the item was enqueued, and terminal keys are computed
+// lazily).
+type item struct {
+	cfg *sem.Config
+	key sem.Key
+}
+
+// keyer selects a run's state-identity mode: exact canonical keys
+// (required whenever the configuration graph is kept, since nodes are
+// addressed by key) or 128-bit fingerprints of the same encoding; either
+// composes with the no-canon ablation.
+type keyer struct {
+	exact bool
+	keyOf func(*sem.Config) sem.Key
+	fpOf  func(*sem.Config) sem.Fingerprint
+}
+
+func newKeyer(opts Options) keyer {
+	k := keyer{exact: opts.ExactKeys || opts.KeepGraph}
+	if opts.NoCanonKeys {
+		k.keyOf = (*sem.Config).EncodeNoCanon
+		k.fpOf = (*sem.Config).FingerprintNoCanon
+	} else {
+		k.keyOf = (*sem.Config).Encode
+		k.fpOf = (*sem.Config).Fingerprint
+	}
+	return k
+}
+
+// visited is the dedup set behind both explorers, in either key mode.
+// It is only ever touched from serial code (the sequential loop or the
+// parallel explorer's per-level merge), so it needs no locking.
+type visited struct {
+	keys     map[sem.Key]bool
+	keyBytes int64
+	fps      *fpSet
+}
+
+// visitedKeyOverhead approximates the exact map's per-entry bookkeeping
+// beyond the key bytes themselves (string header plus bucket slot), for
+// the visited_bytes gauge.
+const visitedKeyOverhead = 48
+
+func newVisited(exact bool) *visited {
+	if exact {
+		return &visited{keys: map[sem.Key]bool{}}
+	}
+	return &visited{fps: &fpSet{}}
+}
+
+// addKey / addFP insert a state identity and report whether it was new.
+func (v *visited) addKey(k sem.Key) bool {
+	if v.keys[k] {
+		return false
+	}
+	v.keys[k] = true
+	v.keyBytes += int64(len(k)) + visitedKeyOverhead
+	return true
+}
+
+func (v *visited) addFP(fp sem.Fingerprint) bool { return v.fps.add(fp) }
+
+// bytes is the memory the visited set retains.
+func (v *visited) bytes() int64 {
+	if v.keys != nil {
+		return v.keyBytes
+	}
+	return v.fps.bytes()
+}
+
+// recordVisitedStats snapshots the encoder pool when a run starts and
+// returns the closure that records the run's visited-set size and pool
+// traffic when it ends (deferred, so truncation paths report too).
+func recordVisitedStats(m *metrics.Registry, vis *visited) func() {
+	if m == nil {
+		return func() {}
+	}
+	g0, mi0 := sem.EncoderPoolStats()
+	return func() {
+		m.SetGauge(metrics.VisitedBytes, vis.bytes())
+		g1, mi1 := sem.EncoderPoolStats()
+		miss := mi1 - mi0
+		if hit := (g1 - g0) - miss; hit > 0 {
+			m.Add(metrics.EncPoolHit, hit)
+		}
+		m.Add(metrics.EncPoolMiss, miss)
+	}
+}
+
 // fire executes one (possibly coarsened) transition of process pi and
 // reports how many extra micro-steps the run absorbed. The count is
 // returned rather than recorded so each explorer can credit it in its
 // own (serial, deterministic) accounting loop.
 func fire(c *sem.Config, pi int, opts Options, absorbLateCritical bool) (*sem.StepResult, int) {
+	// Nothing downstream reads the per-access event stream unless a sink
+	// or event collection asked for it, so skip materializing it (the
+	// per-step Event/AllocEvent allocations) on the common path.
+	quiet := opts.Sink == nil && !opts.CollectEvents
 	budget := 0
 	if absorbLateCritical && !c.AccessCritical(c.NextAccess(pi)) {
 		budget = 1
 	}
 	absorbed := 0
-	step := c.Step(pi)
+	step := stepOnce(c, pi, quiet)
 	if !opts.Coarsen {
 		return step, absorbed
 	}
@@ -297,18 +427,17 @@ func fire(c *sem.Config, pi int, opts Options, absorbLateCritical bool) (*sem.St
 		if nc.Err != "" {
 			return step, absorbed
 		}
-		pj := procIndex(nc, path)
+		// The stepped process almost always keeps its index (only its own
+		// completion changes the sorted Procs slice mid-run), so check the
+		// hint before falling back to binary search by path.
+		pj := pi
+		if pj >= len(nc.Procs) || nc.Procs[pj].Path != path {
+			pj = nc.ProcIndex(path)
+		}
 		if pj < 0 {
 			return step, absorbed // process finished (join)
 		}
-		enabledHere := false
-		for _, e := range nc.Enabled() {
-			if e == pj {
-				enabledHere = true
-				break
-			}
-		}
-		if !enabledHere {
+		if !nc.ProcEnabled(pj) {
 			return step, absorbed
 		}
 		// Fork boundaries stay visible: a cobegin creates processes, so
@@ -325,7 +454,7 @@ func fire(c *sem.Config, pi int, opts Options, absorbLateCritical bool) (*sem.St
 			}
 			budget--
 		}
-		next := nc.Step(pj)
+		next := stepOnce(nc, pj, quiet)
 		absorbed++
 		step = &sem.StepResult{
 			Config: next.Config,
@@ -338,13 +467,11 @@ func fire(c *sem.Config, pi int, opts Options, absorbLateCritical bool) (*sem.St
 	return step, absorbed
 }
 
-func procIndex(c *sem.Config, path string) int {
-	for i, p := range c.Procs {
-		if p.Path == path {
-			return i
-		}
+func stepOnce(c *sem.Config, pi int, quiet bool) *sem.StepResult {
+	if quiet {
+		return c.StepQuiet(pi)
 	}
-	return -1
+	return c.Step(pi)
 }
 
 // reportCoEnabled reports conflicting co-enabled action pairs to the sink.
@@ -403,18 +530,27 @@ func accessConflict(a, b sem.AccessSet) (sem.Loc, bool, bool) {
 // (x,y) values of Figure 2).
 func (r *Result) OutcomeSet(names ...string) [][]int64 {
 	seen := map[string][]int64{}
+	kb := make([]byte, 0, 8*len(names))
 	for _, c := range r.Terminals {
 		if c.Err != "" {
 			continue
 		}
 		tuple := make([]int64, len(names))
+		kb = kb[:0]
 		for i, n := range names {
 			v, ok := c.GlobalByName(n)
 			if ok && v.Kind == sem.KindInt {
 				tuple[i] = v.N
 			}
+			// Sign-flipped big-endian cells make the byte order of keys
+			// coincide with numeric tuple order, so sorting the keys
+			// sorts the tuples; string(kb) in the lookup below does not
+			// allocate, unlike the fmt.Sprint key this replaces.
+			kb = binary.BigEndian.AppendUint64(kb, uint64(tuple[i])^(1<<63))
 		}
-		seen[fmt.Sprint(tuple)] = tuple
+		if _, ok := seen[string(kb)]; !ok {
+			seen[string(kb)] = tuple
+		}
 	}
 	keys := make([]string, 0, len(seen))
 	for k := range seen {

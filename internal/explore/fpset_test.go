@@ -1,0 +1,93 @@
+package explore
+
+import (
+	"testing"
+
+	"psa/internal/sem"
+)
+
+// splitmix64 gives the test a cheap stream of well-distributed 128-bit
+// values without depending on the production hash lanes.
+func fpAt(i uint64) sem.Fingerprint {
+	next := func(x uint64) uint64 {
+		x += 0x9E3779B97F4A7C15
+		x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+		x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+		return x ^ (x >> 31)
+	}
+	return sem.Fingerprint{Hi: next(2*i + 1), Lo: next(2*i + 2)}
+}
+
+func TestFPSetAddAndDedup(t *testing.T) {
+	var s fpSet
+	const n = 10_000 // forces several grows past the 64-slot shards
+	for i := uint64(0); i < n; i++ {
+		if !s.add(fpAt(i)) {
+			t.Fatalf("fresh fingerprint %d reported as duplicate", i)
+		}
+	}
+	if s.len() != n {
+		t.Fatalf("len = %d, want %d", s.len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if s.add(fpAt(i)) {
+			t.Fatalf("duplicate fingerprint %d reported as fresh", i)
+		}
+	}
+	if s.len() != n {
+		t.Fatalf("len changed on duplicate inserts: %d", s.len())
+	}
+}
+
+// The all-zero pattern marks empty slots, so a zero fingerprint must be
+// remapped deterministically — inserted once, deduplicated after, and
+// fused with {0,1} by construction.
+func TestFPSetZeroFingerprint(t *testing.T) {
+	var s fpSet
+	if !s.add(sem.Fingerprint{}) {
+		t.Fatal("zero fingerprint not inserted")
+	}
+	if s.add(sem.Fingerprint{}) {
+		t.Fatal("zero fingerprint not deduplicated")
+	}
+	if s.add(sem.Fingerprint{Hi: 0, Lo: 1}) {
+		t.Fatal("{0,1} must alias the remapped zero fingerprint")
+	}
+	if s.len() != 1 {
+		t.Fatalf("len = %d, want 1", s.len())
+	}
+}
+
+// Colliding probe sequences (same Lo, different Hi) must stay distinct
+// entries: the probe compares both words.
+func TestFPSetProbeCollisions(t *testing.T) {
+	var s fpSet
+	const sameLo = 42
+	for hi := uint64(1); hi <= 100; hi++ {
+		if !s.add(sem.Fingerprint{Hi: hi << 32, Lo: sameLo}) {
+			t.Fatalf("colliding-probe fingerprint hi=%d dropped", hi)
+		}
+	}
+	if s.len() != 100 {
+		t.Fatalf("len = %d, want 100", s.len())
+	}
+}
+
+func TestFPSetBytes(t *testing.T) {
+	var s fpSet
+	if s.bytes() != 0 {
+		t.Fatalf("empty set reports %d bytes", s.bytes())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		s.add(fpAt(i))
+	}
+	b := s.bytes()
+	if b < int64(s.len()*16) {
+		t.Fatalf("bytes = %d, below the %d bytes the entries alone need", b, s.len()*16)
+	}
+	// Load factor ≥ 3/8 after growth doubling: no more than ~2.7 slots
+	// per entry, plus slack for sparsely hit shards early on.
+	if b > int64(s.len()*16*4) {
+		t.Fatalf("bytes = %d for %d entries: table is implausibly sparse", b, s.len())
+	}
+}

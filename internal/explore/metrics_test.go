@@ -182,14 +182,17 @@ func TestMetricsTruncation(t *testing.T) {
 		if len(snap.Levels) == 0 {
 			t.Errorf("workers=%d: no level stats after truncation", workers)
 		}
+		// Perf-only counters (encoder pool traffic, steals) legitimately
+		// vary with scheduling; every deterministic counter must match.
+		got := snap.DeterministicCounters()
 		if ref == nil {
-			ref = snap.Counters
+			ref = got
 			if ref["coarsened_steps"] == 0 {
 				t.Fatal("workload does not coarsen; test would not cover speculative counting")
 			}
-		} else if !reflect.DeepEqual(ref, snap.Counters) {
+		} else if !reflect.DeepEqual(ref, got) {
 			t.Errorf("workers=%d: counters diverge under truncation:\n  workers=1: %v\n  workers=%d: %v",
-				workers, ref, workers, snap.Counters)
+				workers, ref, workers, got)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package explore
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"psa/internal/metrics"
 	"psa/internal/sem"
@@ -12,11 +13,23 @@ import (
 // level-synchronized breadth-first generation of the configuration space.
 // Each BFS level's frontier is split across workers, which do the
 // expensive work (enabledness, stubborn sets, firing, canonical
-// encoding) in parallel; configuration identity is then deduplicated in
-// the serial per-level merge, so the state count, terminal set, edge
-// count, discovery parents, AND frontier ordering are EXACTLY those of
-// the sequential explorer (the paper's numbers do not depend on how many
-// cores generated them — verified by differential tests).
+// encoding or fingerprinting) in parallel; configuration identity is then
+// deduplicated in the serial per-level merge, so the state count,
+// terminal set, edge count, discovery parents, AND frontier ordering are
+// EXACTLY those of the sequential explorer (the paper's numbers do not
+// depend on how many cores generated them — verified by differential
+// tests).
+//
+// Scheduling within a level is dynamic: the frontier is cut into small
+// grains, each worker first claims the grains of its own stride
+// (cheaply, but guarded by a per-grain CAS), and workers that run dry
+// steal leftover grains through a shared atomic index. A level whose
+// expansion cost is skewed — one deep coarsened run amid hundreds of
+// cheap terminals — therefore no longer serializes on the one worker
+// whose static chunk happened to contain the expensive configurations.
+// Which worker computes a grain never matters for the output: results
+// land in the grain's slots of a position-indexed array that only the
+// serial merge reads.
 //
 // Instrumentation (Sink callbacks, metrics, collected events, graph
 // bookkeeping) is serialized per level in deterministic frontier order,
@@ -31,49 +44,51 @@ func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
 	// decisions, coarsened steps) is recorded in the serial merge loop
 	// below — workers only compute and report; they never touch the
 	// registry. In particular fire() returns its absorbed-step count so
-	// speculative work past a truncation cut is not counted.
+	// speculative work past a truncation cut is not counted. The only
+	// worker-dependent counters are the perf-only ones (steals, encoder
+	// pool traffic).
 	m := opts.Metrics
 	defer m.Phase("explore")()
 	var sm *sem.Summaries
 	if opts.Reduction == Stubborn {
 		sm = sem.NewSummaries(c0.Prog)
 	}
-	keyOf := (*sem.Config).Encode
-	if opts.NoCanonKeys {
-		keyOf = (*sem.Config).EncodeNoCanon
-	}
+	ky := newKeyer(opts)
+	// Visited set, consulted only in the serial merge: dedup order (and
+	// therefore discovery-parent attribution and next-frontier order)
+	// must match the sequential explorer exactly, so freshness cannot be
+	// decided by racing workers.
+	vis := newVisited(ky.exact)
+	defer recordVisitedStats(m, vis)()
 
 	res := &Result{Terminals: map[sem.Key]*sem.Config{}}
 	if opts.KeepGraph {
 		res.Graph = &Graph{Nodes: map[sem.Key]*Node{}}
 	}
 
-	type item struct {
-		cfg *sem.Config
-		key sem.Key
+	frontier := make([]item, 0, 64)
+	if ky.exact {
+		k0 := ky.keyOf(c0)
+		vis.addKey(k0)
+		frontier = append(frontier, item{c0, k0})
+		if res.Graph != nil {
+			res.Graph.Nodes[k0] = &Node{Key: k0, Index: 0}
+			res.Graph.Order = append(res.Graph.Order, k0)
+		}
+	} else {
+		vis.addFP(ky.fpOf(c0))
+		frontier = append(frontier, item{cfg: c0})
 	}
-	// Visited set, consulted only in the serial merge: dedup order (and
-	// therefore discovery-parent attribution and next-frontier order)
-	// must match the sequential explorer exactly, so freshness cannot be
-	// decided by racing workers.
-	seen := map[sem.Key]bool{}
-
-	k0 := keyOf(c0)
-	seen[k0] = true
-	frontier := []item{{c0, k0}}
 	res.States = 1
 	m.Inc(metrics.StatesUnique)
-	if res.Graph != nil {
-		res.Graph.Nodes[k0] = &Node{Key: k0, Index: 0}
-		res.Graph.Order = append(res.Graph.Order, k0)
-	}
 
 	type expansion struct {
 		terminal bool
 		enabled  []int
 		steps    []*sem.StepResult
-		keys     []sem.Key
-		absorbed []int // coarsened micro-steps per fired transition
+		keys     []sem.Key         // exact mode
+		fps      []sem.Fingerprint // fingerprint mode
+		absorbed []int             // coarsened micro-steps per fired transition
 	}
 
 	for len(frontier) > 0 {
@@ -83,44 +98,80 @@ func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
 		m.BeginLevel(len(frontier))
 		exps := make([]expansion, len(frontier))
 
+		expand1 := func(i int) {
+			cur := frontier[i]
+			e := &exps[i]
+			e.enabled = cur.cfg.Enabled()
+			if len(e.enabled) == 0 {
+				e.terminal = true
+				return
+			}
+			expand := e.enabled
+			if opts.Reduction == Stubborn {
+				expand = stubbornSet(cur.cfg, e.enabled, sm)
+			}
+			absorbLateCritical := opts.Reduction == Full
+			for _, pi := range expand {
+				step, absorbed := fire(cur.cfg, pi, opts, absorbLateCritical)
+				e.steps = append(e.steps, step)
+				if ky.exact {
+					e.keys = append(e.keys, ky.keyOf(step.Config))
+				} else {
+					e.fps = append(e.fps, ky.fpOf(step.Config))
+				}
+				e.absorbed = append(e.absorbed, absorbed)
+			}
+		}
+
+		// Grain-level scheduling: home stride first, then steal.
+		n := len(frontier)
+		grain := n / (workers * 8)
+		if grain < 1 {
+			grain = 1
+		} else if grain > 256 {
+			grain = 256
+		}
+		grains := (n + grain - 1) / grain
+		claimed := make([]atomic.Bool, grains)
+		var stealCursor, steals atomic.Int64
+		runGrain := func(g int) {
+			lo, hi := g*grain, (g+1)*grain
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				expand1(i)
+			}
+		}
+
 		var wg sync.WaitGroup
-		chunk := (len(frontier) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			if lo >= len(frontier) {
-				break
-			}
-			hi := lo + chunk
-			if hi > len(frontier) {
-				hi = len(frontier)
-			}
+		nw := workers
+		if nw > grains {
+			nw = grains
+		}
+		for w := 0; w < nw; w++ {
 			wg.Add(1)
-			go func(lo, hi int) {
+			go func(w int) {
 				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					cur := frontier[i]
-					e := &exps[i]
-					e.enabled = cur.cfg.Enabled()
-					if len(e.enabled) == 0 {
-						e.terminal = true
-						continue
-					}
-					expand := e.enabled
-					if opts.Reduction == Stubborn {
-						expand = stubbornSet(cur.cfg, e.enabled, sm)
-					}
-					absorbLateCritical := opts.Reduction == Full
-					for _, pi := range expand {
-						step, absorbed := fire(cur.cfg, pi, opts, absorbLateCritical)
-						k := keyOf(step.Config)
-						e.steps = append(e.steps, step)
-						e.keys = append(e.keys, k)
-						e.absorbed = append(e.absorbed, absorbed)
+				for g := w; g < grains; g += nw {
+					if claimed[g].CompareAndSwap(false, true) {
+						runGrain(g)
 					}
 				}
-			}(lo, hi)
+				for {
+					g := int(stealCursor.Add(1)) - 1
+					if g >= grains {
+						return
+					}
+					if claimed[g].CompareAndSwap(false, true) {
+						steals.Add(1)
+						runGrain(g)
+					}
+				}
+			}(w)
 		}
 		wg.Wait()
+		m.Add(metrics.FrontierSteals, steals.Load())
 
 		// Deterministic sequential merge of the level's results.
 		var next []item
@@ -128,7 +179,11 @@ func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
 			cur := frontier[i]
 			e := &exps[i]
 			if e.terminal {
-				res.Terminals[cur.key] = cur.cfg
+				tk := cur.key
+				if !ky.exact {
+					tk = ky.keyOf(cur.cfg)
+				}
+				res.Terminals[tk] = cur.cfg
 				m.Inc(metrics.TerminalsSeen)
 				if cur.cfg.Err != "" {
 					res.Errors = append(res.Errors, cur.cfg)
@@ -159,13 +214,19 @@ func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
 					res.Events = append(res.Events, step.Events...)
 					res.Allocs = append(res.Allocs, step.Allocs...)
 				}
-				k := e.keys[j]
+				var k sem.Key
+				var fresh bool
+				if ky.exact {
+					k = e.keys[j]
+					fresh = vis.addKey(k)
+				} else {
+					fresh = vis.addFP(e.fps[j])
+				}
 				if res.Graph != nil {
 					res.Graph.Nodes[cur.key].Out = append(res.Graph.Nodes[cur.key].Out,
 						Edge{To: k, Proc: step.Proc, Stmt: describeStep(step)})
 				}
-				if !seen[k] {
-					seen[k] = true
+				if fresh {
 					res.States++
 					m.Inc(metrics.StatesUnique)
 					if res.Graph != nil {

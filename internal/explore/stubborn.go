@@ -1,8 +1,54 @@
 package explore
 
 import (
+	"sync"
+
 	"psa/internal/sem"
 )
+
+// stubbornScratch holds the per-expansion working storage of the
+// stubborn-set computation (access sets, future summaries, closure
+// bit-sets), indexed by process index. It is pooled: the check runs once
+// per multi-enabled expansion — inside parallel workers too, hence a
+// sync.Pool rather than a per-explorer buffer — and allocating fresh
+// summaries per process per expansion dominated the reduced explorer's
+// allocation profile.
+type stubbornScratch struct {
+	accs    []sem.AccessSet
+	futures []sem.Summary
+	live    []bool // futures[i] valid (process not done)
+	inSet   []bool
+	enabled []bool
+	work    []int
+	out     []int
+	best    []int
+}
+
+var stubbornPool = sync.Pool{New: func() any { return new(stubbornScratch) }}
+
+// resize readies the scratch for n processes with g globals.
+func (sc *stubbornScratch) resize(n, g int) {
+	if cap(sc.accs) < n {
+		sc.accs = make([]sem.AccessSet, n)
+		sc.futures = make([]sem.Summary, n)
+		sc.live = make([]bool, n)
+		sc.inSet = make([]bool, n)
+		sc.enabled = make([]bool, n)
+	}
+	sc.accs = sc.accs[:n]
+	sc.futures = sc.futures[:n]
+	sc.live = sc.live[:n]
+	sc.inSet = sc.inSet[:n]
+	sc.enabled = sc.enabled[:n]
+	for i := 0; i < n; i++ {
+		sc.futures[i].Reset(g)
+		sc.live[i] = false
+		sc.inSet[i] = false
+		sc.enabled[i] = false
+	}
+	sc.work = sc.work[:0]
+	sc.out = sc.out[:0]
+}
 
 // stubbornSet implements the paper's Algorithm 1 (an improved version of
 // Overman's algorithm [Ove81], in the stubborn-set framework of
@@ -31,84 +77,95 @@ func stubbornSet(c *sem.Config, enabled []int, sm *sem.Summaries) []int {
 	if len(enabled) <= 1 {
 		return enabled
 	}
-	accs := make(map[int]sem.AccessSet, len(enabled))
+	sc := stubbornPool.Get().(*stubbornScratch)
+	defer stubbornPool.Put(sc)
+	sc.resize(len(c.Procs), len(c.Globals))
 	for _, pi := range enabled {
-		accs[pi] = c.NextAccess(pi)
+		sc.accs[pi] = c.NextAccess(pi)
+		sc.enabled[pi] = true
 	}
-	futures := make([]*sem.Summary, len(c.Procs))
 	for i, p := range c.Procs {
 		if p.Status == sem.StatusDone {
 			continue
 		}
-		futures[i] = sm.FutureSummary(c, i)
+		sc.live[i] = true
+		sm.FutureSummaryInto(&sc.futures[i], c, i)
 	}
 
 	// Phase 1: look for a local process.
 	for _, pi := range enabled {
-		if isLocal(c, pi, accs[pi], futures) {
+		if sc.isLocal(pi) {
 			return []int{pi}
 		}
 	}
 
-	// Phase 2: smallest conflict closure over enabled processes.
-	enabledSet := map[int]bool{}
-	for _, pi := range enabled {
-		enabledSet[pi] = true
-	}
+	// Phase 2: smallest conflict closure over enabled processes. The
+	// winning closure is copied into sc.best (sc.out is overwritten by
+	// the next attempt) and into a fresh slice before return (the scratch
+	// goes back to the pool; the caller keeps the set).
 	best := enabled
+	owned := false
 	for _, seed := range enabled {
-		if s, ok := closure(c, seed, accs, futures, enabledSet); ok && len(s) < len(best) {
-			best = s
+		if ok := sc.closure(seed); ok && len(sc.out) < len(best) {
+			sc.best = append(sc.best[:0], sc.out...)
+			best = sc.best
+			owned = true
+			if len(best) == 1 {
+				break // a singleton cannot be beaten (strict <)
+			}
 		}
+	}
+	if owned {
+		best = append([]int(nil), best...)
 	}
 	return best
 }
 
 // isLocal reports whether the next action of process pi cannot conflict
 // with anything any other live process may still do.
-func isLocal(c *sem.Config, pi int, acc sem.AccessSet, futures []*sem.Summary) bool {
-	for j := range c.Procs {
-		if j == pi || futures[j] == nil {
+func (sc *stubbornScratch) isLocal(pi int) bool {
+	for j := range sc.futures {
+		if j == pi || !sc.live[j] {
 			continue
 		}
-		if futures[j].ConflictsWith(acc) {
+		if sc.futures[j].ConflictsWith(sc.accs[pi]) {
 			return false
 		}
 	}
 	return true
 }
 
-// closure grows a stubborn set from seed; ok is false when a conflicting
-// process is not enabled and therefore cannot join the set.
-func closure(c *sem.Config, seed int, accs map[int]sem.AccessSet, futures []*sem.Summary, enabledSet map[int]bool) ([]int, bool) {
-	inSet := map[int]bool{seed: true}
-	work := []int{seed}
-	for len(work) > 0 {
-		k := work[0]
-		work = work[1:]
-		for j := range c.Procs {
-			if inSet[j] || futures[j] == nil {
+// closure grows a stubborn set from seed into sc.out (ascending order);
+// ok is false when a conflicting process is not enabled and therefore
+// cannot join the set.
+func (sc *stubbornScratch) closure(seed int) bool {
+	for i := range sc.inSet {
+		sc.inSet[i] = false
+	}
+	sc.inSet[seed] = true
+	sc.work = append(sc.work[:0], seed)
+	for len(sc.work) > 0 {
+		k := sc.work[0]
+		sc.work = sc.work[1:]
+		for j := range sc.futures {
+			if sc.inSet[j] || !sc.live[j] {
 				continue
 			}
-			if !futures[j].ConflictsWith(accs[k]) {
+			if !sc.futures[j].ConflictsWith(sc.accs[k]) {
 				continue
 			}
-			if !enabledSet[j] {
-				return nil, false
+			if !sc.enabled[j] {
+				return false
 			}
-			inSet[j] = true
-			work = append(work, j)
+			sc.inSet[j] = true
+			sc.work = append(sc.work, j)
 		}
 	}
-	out := make([]int, 0, len(inSet))
-	for j := range inSet {
-		out = append(out, j)
-	}
-	// Deterministic order.
-	for i := 1; i < len(out); i++ {
-		for k := i; k > 0 && out[k-1] > out[k]; k-- {
-			out[k-1], out[k] = out[k], out[k-1]
+	sc.out = sc.out[:0]
+	for j, in := range sc.inSet {
+		if in {
+			sc.out = append(sc.out, j)
 		}
 	}
-	return out, true
+	return true
 }

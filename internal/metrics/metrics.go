@@ -62,6 +62,16 @@ const (
 	AbsJoins
 	AbsWidenings
 	AbsStates
+	// Encoder-pool traffic during a run: checkouts served from the pool
+	// vs. checkouts that allocated a fresh encoder. Perf-only — the split
+	// depends on scheduling, so it is NOT part of the deterministic
+	// counter set the differential tests compare.
+	EncPoolHit
+	EncPoolMiss
+	// FrontierSteals counts work grains the parallel explorer's workers
+	// claimed outside their home stride (dynamic load balancing). Also
+	// perf-only and scheduling-dependent.
+	FrontierSteals
 	numCounters
 )
 
@@ -80,6 +90,21 @@ var counterNames = [numCounters]string{
 	AbsJoins:             "abs_joins",
 	AbsWidenings:         "abs_widenings",
 	AbsStates:            "abs_states",
+	EncPoolHit:           "enc_pool_hit",
+	EncPoolMiss:          "enc_pool_miss",
+	FrontierSteals:       "frontier_steals",
+}
+
+// PerfOnly reports whether the counter measures implementation effort
+// (pool traffic, steals) rather than explored-space structure. Perf-only
+// counters may legitimately differ across worker counts and key modes;
+// determinism tests compare all others.
+func (c Counter) PerfOnly() bool {
+	switch c {
+	case EncPoolHit, EncPoolMiss, FrontierSteals:
+		return true
+	}
+	return false
 }
 
 // String returns the snake_case snapshot key of the counter.
@@ -101,6 +126,10 @@ const (
 	Level
 	MaxFrontier
 	QueueLen
+	// VisitedBytes is the memory retained by the explorer's visited set
+	// at the end of a run: full key bytes in exact mode, fingerprint
+	// table bytes in fingerprint mode.
+	VisitedBytes
 	numGauges
 )
 
@@ -109,6 +138,7 @@ var gaugeNames = [numGauges]string{
 	Level:         "level",
 	MaxFrontier:   "max_frontier",
 	QueueLen:      "queue_len",
+	VisitedBytes:  "visited_bytes",
 }
 
 // String returns the snake_case snapshot key of the gauge.
@@ -421,6 +451,22 @@ func (r *Registry) Snapshot() *Snapshot {
 	return s
 }
 
+// DeterministicCounters returns the snapshot's counters with perf-only
+// entries removed — the map that determinism comparisons (sequential vs.
+// parallel, exact vs. fingerprint) should use.
+func (s *Snapshot) DeterministicCounters() map[string]int64 {
+	out := make(map[string]int64, len(s.Counters))
+	for name, v := range s.Counters {
+		out[name] = v
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		if c.PerfOnly() {
+			delete(out, c.String())
+		}
+	}
+	return out
+}
+
 // WriteJSON writes the snapshot as indented JSON.
 func (s *Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -443,6 +489,9 @@ func (s *Snapshot) WriteTable(w io.Writer) {
 	}
 	if v := s.Gauges[MaxFrontier.String()]; v > 0 {
 		fmt.Fprintf(w, "  %-24s %d\n", "max_frontier", v)
+	}
+	if v := s.Gauges[VisitedBytes.String()]; v > 0 {
+		fmt.Fprintf(w, "  %-24s %d\n", "visited_bytes", v)
 	}
 	if s.StatesPerSec > 0 {
 		fmt.Fprintf(w, "  %-24s %.0f\n", "states_per_sec", s.StatesPerSec)

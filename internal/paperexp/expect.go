@@ -84,6 +84,9 @@ type WorkloadRow struct {
 	StubbornSingleton int64 `json:"stubborn_singleton"`
 	StubbornFull      int64 `json:"stubborn_full_fallback"`
 	CoarsenedSteps    int64 `json:"coarsened_steps"`
+	// VisitedBytes is the memory retained by the visited set (full keys
+	// in exact mode, fingerprint table in fingerprint mode).
+	VisitedBytes int64 `json:"visited_bytes"`
 
 	OK   bool   `json:"ok"`
 	Diag string `json:"diag,omitempty"`
@@ -91,15 +94,24 @@ type WorkloadRow struct {
 
 // VerifyWorkloads runs every recorded expectation with a fresh metrics
 // registry and reports one row per workload. A row is not OK when any
-// recorded count diverges.
-func VerifyWorkloads() []WorkloadRow { return verifyAgainst(Expectations()) }
+// recorded count diverges. Runs use the engine's default fingerprinted
+// visited set; the recorded counts were taken with exact keys, so a pass
+// doubles as a collision check over the whole corpus.
+func VerifyWorkloads() []WorkloadRow { return VerifyWorkloadsMode(false) }
 
-func verifyAgainst(exps []Expectation) []WorkloadRow {
+// VerifyWorkloadsMode is VerifyWorkloads with an explicit key mode:
+// exactKeys true forces the full-key visited set (Options.ExactKeys).
+func VerifyWorkloadsMode(exactKeys bool) []WorkloadRow {
+	return verifyAgainst(Expectations(), exactKeys)
+}
+
+func verifyAgainst(exps []Expectation, exactKeys bool) []WorkloadRow {
 	rows := make([]WorkloadRow, 0, len(exps))
 	for _, e := range exps {
 		m := metrics.New()
 		opts := e.opts
 		opts.Metrics = m
+		opts.ExactKeys = exactKeys
 		start := time.Now()
 		res := explore.Explore(e.prog(), opts)
 		dur := time.Since(start)
@@ -119,6 +131,7 @@ func verifyAgainst(exps []Expectation) []WorkloadRow {
 			StubbornSingleton: m.Get(metrics.StubbornSingleton),
 			StubbornFull:      m.Get(metrics.StubbornFullFallback),
 			CoarsenedSteps:    m.Get(metrics.CoarsenedSteps),
+			VisitedBytes:      m.Gauge(metrics.VisitedBytes),
 		}
 		if sec := dur.Seconds(); sec > 0 {
 			row.StatesPerSec = float64(res.States) / sec

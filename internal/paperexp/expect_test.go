@@ -3,19 +3,22 @@ package paperexp
 import "testing"
 
 // Every recorded expectation must hold on the current engine — this is
-// the same gate cmd/paperbench (and CI) enforces.
+// the same gate cmd/paperbench (and CI) enforces — in both the default
+// fingerprint mode and the exact-key mode.
 func TestExpectationsHold(t *testing.T) {
-	for _, row := range VerifyWorkloads() {
-		if !row.OK {
-			t.Errorf("%s/%s: %s", row.Workload, row.Strategy, row.Diag)
-			continue
-		}
-		if row.States != row.WantStates {
-			t.Errorf("%s/%s: OK row with states %d != want %d",
-				row.Workload, row.Strategy, row.States, row.WantStates)
-		}
-		if row.Levels == 0 || row.MaxFrontier == 0 {
-			t.Errorf("%s/%s: metrics not populated: %+v", row.Workload, row.Strategy, row)
+	for _, exact := range []bool{false, true} {
+		for _, row := range VerifyWorkloadsMode(exact) {
+			if !row.OK {
+				t.Errorf("exact=%v %s/%s: %s", exact, row.Workload, row.Strategy, row.Diag)
+				continue
+			}
+			if row.States != row.WantStates {
+				t.Errorf("exact=%v %s/%s: OK row with states %d != want %d",
+					exact, row.Workload, row.Strategy, row.States, row.WantStates)
+			}
+			if row.Levels == 0 || row.MaxFrontier == 0 || row.VisitedBytes == 0 {
+				t.Errorf("exact=%v %s/%s: metrics not populated: %+v", exact, row.Workload, row.Strategy, row)
+			}
 		}
 	}
 }
@@ -27,7 +30,7 @@ func TestExpectationDivergenceDetected(t *testing.T) {
 	e.States++ // corrupt the recorded count
 	bad := []Expectation{e}
 	// Inline re-run mirroring VerifyWorkloads on the corrupted record.
-	rows := verifyAgainst(bad)
+	rows := verifyAgainst(bad, false)
 	if len(rows) != 1 || rows[0].OK {
 		t.Fatalf("corrupted expectation not flagged: %+v", rows)
 	}

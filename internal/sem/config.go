@@ -215,6 +215,18 @@ func (c *Config) proc(path string) *Process {
 // ProcByPath returns the process with the given path, or nil.
 func (c *Config) ProcByPath(path string) *Process { return c.proc(path) }
 
+// ProcIndex returns the index of the process with the given path, or -1.
+// Procs is kept sorted by Path, so this is a binary search — the
+// explorers call it once per coarsened micro-step, where the linear scan
+// it replaces showed up on profiles.
+func (c *Config) ProcIndex(path string) int {
+	i := sort.Search(len(c.Procs), func(i int) bool { return c.Procs[i].Path >= path })
+	if i < len(c.Procs) && c.Procs[i].Path == path {
+		return i
+	}
+	return -1
+}
+
 // Terminal reports whether the configuration has no enabled process: the
 // program finished (root done) or the configuration is an error state.
 func (c *Config) Terminal() bool {
@@ -237,6 +249,17 @@ func (c *Config) Enabled() []int {
 		}
 	}
 	return out
+}
+
+// ProcEnabled reports whether the process at index i has an enabled
+// transition — Enabled() membership without building the slice, for
+// callers (the coarsening loop) that probe a single process per step.
+func (c *Config) ProcEnabled(i int) bool {
+	if c.Err != "" || i < 0 || i >= len(c.Procs) {
+		return false
+	}
+	p := c.Procs[i]
+	return p.Status == StatusRunning && (c.hasPending(p) || c.nextStmt(p) != nil)
 }
 
 // hasPending reports whether p's next action is the commit of a split

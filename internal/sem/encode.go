@@ -5,12 +5,42 @@ import (
 	"hash/fnv"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 )
 
 // Key is the canonical identity of a configuration. Configurations with
 // equal Keys are semantically identical up to heap-address renaming and
 // instrumentation history, so exploration merges them.
 type Key string
+
+// Fingerprint is a 128-bit hash of a configuration's canonical encoding:
+// two independent 64-bit lanes (FNV-1a and a golden-ratio multiplicative
+// hash, both finalized with a splitmix-style avalanche) folded over the
+// exact byte stream Encode produces. Equal configurations always have
+// equal fingerprints; distinct configurations collide with probability
+// ~n²/2¹²⁹ for n states (≈10⁻²⁰ even at a billion states), which is the
+// Holzmann hash-compaction trade: the explorers' fingerprint mode keys
+// the visited set by 16 bytes per state instead of the full encoding.
+type Fingerprint struct{ Hi, Lo uint64 }
+
+// Zero reports whether f is the zero fingerprint (never produced by
+// Fingerprint; usable as a sentinel).
+func (f Fingerprint) Zero() bool { return f.Hi == 0 && f.Lo == 0 }
+
+// String renders the fingerprint as 32 hex digits.
+func (f Fingerprint) String() string {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], f.Hi)
+	binary.BigEndian.PutUint64(b[8:], f.Lo)
+	const hex = "0123456789abcdef"
+	out := make([]byte, 32)
+	for i, c := range b {
+		out[2*i] = hex[c>>4]
+		out[2*i+1] = hex[c&15]
+	}
+	return string(out)
+}
 
 // Encode produces the canonical Key:
 //
@@ -29,8 +59,9 @@ type Key string
 // same message merge).
 //
 // Encoding is the hot loop of exploration (every generated successor is
-// keyed), so it appends into a pre-sized byte buffer rather than using
-// fmt machinery.
+// keyed), so it appends into a pooled, pre-sized byte buffer rather than
+// using fmt machinery; the only allocation per call is the returned Key
+// itself.
 func (c *Config) Encode() Key { return c.encode(true) }
 
 // EncodeNoCanon is the ablation variant of Encode: heap allocation ids
@@ -40,14 +71,52 @@ func (c *Config) Encode() Key { return c.encode(true) }
 // buys (DESIGN.md §5).
 func (c *Config) EncodeNoCanon() Key { return c.encode(false) }
 
+// Fingerprint hashes the canonical encoding without materializing the
+// key: the encoder streams through a pooled fixed-size scratch buffer
+// that is folded into the two hash lanes whenever it fills, so the call
+// allocates nothing and uses O(1) memory in the state size. It always
+// equals Encode().Fingerprint().
+func (c *Config) Fingerprint() Fingerprint { return c.fingerprint(true) }
+
+// FingerprintNoCanon is Fingerprint over the EncodeNoCanon byte stream.
+func (c *Config) FingerprintNoCanon() Fingerprint { return c.fingerprint(false) }
+
 func (c *Config) encode(canon bool) Key {
-	enc := &encoder{cfg: c, b: make([]byte, 0, 256), canon: canon}
+	e := getEncoder(c, canon, false)
+	c.encodeBody(e)
+	k := Key(e.b)
+	putEncoder(e)
+	return k
+}
+
+func (c *Config) fingerprint(canon bool) Fingerprint {
+	e := getEncoder(c, canon, true)
+	c.encodeBody(e)
+	e.flush()
+	fp := finalizeLanes(e.h1, e.h2, e.n)
+	putEncoder(e)
+	return fp
+}
+
+// Fingerprint hashes an already-materialized key with the same lanes and
+// finalizer the streaming encoder uses, so k.Fingerprint() ==
+// c.Fingerprint() whenever k == c.Encode().
+func (k Key) Fingerprint() Fingerprint {
+	h1, h2 := uint64(fnvOffset64), uint64(lane2Offset)
+	for i := 0; i < len(k); i++ {
+		h1 = (h1 ^ uint64(k[i])) * fnvPrime64
+		h2 = (h2 ^ uint64(k[i])) * lane2Prime
+	}
+	return finalizeLanes(h1, h2, len(k))
+}
+
+func (c *Config) encodeBody(enc *encoder) {
 	if c.Err != "" {
 		enc.str("ERR:")
 		enc.str(c.Err)
 		enc.byte('@')
 		enc.num(int64(c.ErrStmt))
-		return Key(enc.b)
+		return
 	}
 	for _, p := range c.Procs {
 		enc.byte('P')
@@ -99,19 +168,17 @@ func (c *Config) encode(canon bool) Key {
 	// cells may reference further objects, breadth-first. Without
 	// canonicalization every live object is encoded, in raw-id order.
 	enc.str("H:")
-	if !canon {
-		ids := make([]int, 0, len(c.Heap))
+	if !enc.canon {
 		for id := range c.Heap {
-			ids = append(ids, id)
+			enc.order = append(enc.order, id)
 		}
-		sort.Ints(ids)
-		enc.order = ids
+		sort.Ints(enc.order)
 	}
 	for i := 0; i < len(enc.order); i++ {
 		id := enc.order[i]
 		obj := c.Heap[id]
 		enc.byte('o')
-		if !canon {
+		if !enc.canon {
 			enc.num(int64(id))
 			enc.byte('@')
 		}
@@ -124,7 +191,86 @@ func (c *Config) encode(canon bool) Key {
 		}
 		enc.byte(']')
 	}
-	return Key(enc.b)
+}
+
+// Hash lanes. Lane 1 is FNV-1a; lane 2 uses a different odd multiplier
+// (2⁶⁴/φ) so the two lanes disagree on any same-length byte difference —
+// FNV-1a with merely a different offset basis would collide in lockstep,
+// because its collisions on equal-length inputs are independent of the
+// initial value.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	lane2Offset = 0x2545F4914F6CDD1D
+	lane2Prime  = 0x9E3779B97F4A7C15
+)
+
+// finalizeLanes folds the total length in and avalanches each lane
+// (splitmix64 finalizer), so short encodings still use all 128 bits.
+func finalizeLanes(h1, h2 uint64, n int) Fingerprint {
+	return Fingerprint{
+		Hi: mix64(h1 ^ uint64(n)),
+		Lo: mix64(h2 ^ (uint64(n) << 32)),
+	}
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// --- Pooled encoder --------------------------------------------------------
+
+// encSpillBytes is the scratch-buffer size at which hash-only encoding
+// folds buffered bytes into the lanes; key-producing encoding never
+// spills (the buffer IS the key).
+const encSpillBytes = 512
+
+// maxPooledCap bounds the scratch capacity a pooled encoder may retain,
+// so one huge configuration does not pin its buffer forever.
+const maxPooledCap = 1 << 16
+
+var encPool = sync.Pool{New: func() any {
+	encoderMisses.Add(1)
+	return &encoder{b: make([]byte, 0, encSpillBytes)}
+}}
+
+var (
+	encoderGets   atomic.Int64
+	encoderMisses atomic.Int64
+)
+
+// EncoderPoolStats reports process-wide encoder checkouts and pool misses
+// (checkouts that had to allocate a fresh encoder). The explorers record
+// per-run deltas in their metrics registries as enc_pool_hit/enc_pool_miss.
+func EncoderPoolStats() (gets, misses int64) {
+	return encoderGets.Load(), encoderMisses.Load()
+}
+
+func getEncoder(c *Config, canon, hashOnly bool) *encoder {
+	encoderGets.Add(1)
+	e := encPool.Get().(*encoder)
+	e.cfg = c
+	e.canon = canon
+	e.hashOnly = hashOnly
+	e.b = e.b[:0]
+	e.order = e.order[:0]
+	e.h1, e.h2 = fnvOffset64, lane2Offset
+	e.n = 0
+	clear(e.rename)
+	return e
+}
+
+func putEncoder(e *encoder) {
+	e.cfg = nil
+	if cap(e.b) > maxPooledCap {
+		return
+	}
+	encPool.Put(e)
 }
 
 type encoder struct {
@@ -133,11 +279,37 @@ type encoder struct {
 	rename map[int]int
 	order  []int
 	canon  bool
+
+	// Streaming-hash state (hashOnly mode): the two lanes plus the count
+	// of bytes already folded out of b.
+	hashOnly bool
+	h1, h2   uint64
+	n        int
 }
 
-func (e *encoder) byte(c byte)  { e.b = append(e.b, c) }
-func (e *encoder) str(s string) { e.b = append(e.b, s...) }
-func (e *encoder) num(n int64)  { e.b = strconv.AppendInt(e.b, n, 10) }
+func (e *encoder) byte(c byte)  { e.b = append(e.b, c); e.spill() }
+func (e *encoder) str(s string) { e.b = append(e.b, s...); e.spill() }
+func (e *encoder) num(n int64)  { e.b = strconv.AppendInt(e.b, n, 10); e.spill() }
+
+// spill keeps hash-only encoding O(1) in state size: once the scratch
+// buffer fills, fold it into the lanes and reuse it.
+func (e *encoder) spill() {
+	if !e.hashOnly || len(e.b) < encSpillBytes {
+		return
+	}
+	e.flush()
+}
+
+func (e *encoder) flush() {
+	h1, h2 := e.h1, e.h2
+	for _, c := range e.b {
+		h1 = (h1 ^ uint64(c)) * fnvPrime64
+		h2 = (h2 ^ uint64(c)) * lane2Prime
+	}
+	e.h1, e.h2 = h1, h2
+	e.n += len(e.b)
+	e.b = e.b[:0]
+}
 
 // canonID returns the canonical id for a heap allocation, assigning the
 // next dense id (and queueing the object for cell encoding) on first
@@ -150,7 +322,7 @@ func (e *encoder) canonID(alloc int) (int, bool) {
 		return alloc, live
 	}
 	if e.rename == nil {
-		e.rename = make(map[int]int, len(e.cfg.Heap))
+		e.rename = make(map[int]int, 8)
 	}
 	if id, ok := e.rename[alloc]; ok {
 		return id, true

@@ -194,9 +194,11 @@ func (st *stepper) malloc(s lang.Stmt, e *lang.MallocExpr, count int) (Value, er
 	}
 	h[id] = obj
 	st.cfg.Heap = h
-	st.res.Allocs = append(st.res.Allocs, AllocEvent{
-		ID: id, Count: count, Site: e.NodeID(), Birth: st.proc.PStr, Proc: st.proc.Path,
-	})
+	if !st.quiet {
+		st.res.Allocs = append(st.res.Allocs, AllocEvent{
+			ID: id, Count: count, Site: e.NodeID(), Birth: st.proc.PStr, Proc: st.proc.Path,
+		})
+	}
 	return PtrVal(Loc{Space: SpaceHeap, Base: id}), nil
 }
 

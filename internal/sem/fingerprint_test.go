@@ -1,0 +1,124 @@
+package sem
+
+import "testing"
+
+// fpWalk collects a few BFS levels' worth of distinct configurations from
+// the given program — enough variety (heap growth, cobegin interleavings,
+// pending operands) to exercise every encoder case.
+func fpWalk(t *testing.T, src string, levels int) []*Config {
+	t.Helper()
+	c := initial(t, src)
+	var out []*Config
+	seen := map[Key]bool{}
+	frontier := []*Config{c}
+	for d := 0; d < levels && len(frontier) > 0; d++ {
+		var next []*Config
+		for _, cur := range frontier {
+			k := cur.Encode()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, cur)
+			for _, i := range cur.Enabled() {
+				next = append(next, cur.Step(i).Config)
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+const fpTestProg = `
+var g; var shared;
+func main() {
+  var p = malloc(2);
+  *p = 1;
+  cobegin {
+    g = *p;
+    shared = malloc(1);
+  } || {
+    *(p + 1) = 2;
+    g = g + 10;
+  } coend
+}
+`
+
+// The streaming fingerprint must agree with hashing the materialized
+// canonical key — they are two paths over the same byte stream, and the
+// explorers' fingerprint mode is only sound against KeepGraph/terminal
+// keys if they can never disagree.
+func TestFingerprintMatchesEncode(t *testing.T) {
+	for _, cfg := range fpWalk(t, fpTestProg, 6) {
+		if got, want := cfg.Fingerprint(), cfg.Encode().Fingerprint(); got != want {
+			t.Fatalf("Fingerprint() = %s, Encode().Fingerprint() = %s", got, want)
+		}
+		if got, want := cfg.FingerprintNoCanon(), cfg.EncodeNoCanon().Fingerprint(); got != want {
+			t.Fatalf("FingerprintNoCanon() = %s, EncodeNoCanon().Fingerprint() = %s", got, want)
+		}
+	}
+}
+
+// Fingerprinting is a pure function of the configuration, and distinct
+// canonical keys map to distinct fingerprints across the walked corpus
+// (a collision here, at these sizes, means a broken lane — not bad luck).
+func TestFingerprintStableAndInjectiveOnCorpus(t *testing.T) {
+	cfgs := fpWalk(t, fpTestProg, 14)
+	if len(cfgs) < 20 {
+		t.Fatalf("walk produced only %d configurations", len(cfgs))
+	}
+	byFP := map[Fingerprint]Key{}
+	for _, cfg := range cfgs {
+		fp := cfg.Fingerprint()
+		if fp != cfg.Fingerprint() {
+			t.Fatal("Fingerprint not stable")
+		}
+		if fp.Zero() {
+			t.Fatal("fingerprint of a real configuration is zero")
+		}
+		k := cfg.Encode()
+		if prev, ok := byFP[fp]; ok && prev != k {
+			t.Fatalf("fingerprint collision: %s for keys %q and %q", fp, prev, k)
+		}
+		byFP[fp] = k
+	}
+}
+
+// Key.Fingerprint must match the config-level fingerprint — this is what
+// lets exact-mode and fingerprint-mode runs be compared key by key.
+func TestKeyFingerprintAgrees(t *testing.T) {
+	for _, cfg := range fpWalk(t, fpTestProg, 4) {
+		k := cfg.Encode()
+		if k.Fingerprint() != cfg.Fingerprint() {
+			t.Fatalf("Key.Fingerprint %s != Config.Fingerprint %s", k.Fingerprint(), cfg.Fingerprint())
+		}
+	}
+}
+
+// The encoder pool must report traffic, and a warm steady state must stop
+// allocating: Fingerprint never materializes the key, and Encode's only
+// allocation is the returned key itself.
+func TestEncoderPoolReuse(t *testing.T) {
+	cfgs := fpWalk(t, fpTestProg, 5)
+	g0, _ := EncoderPoolStats()
+	for _, cfg := range cfgs {
+		cfg.Fingerprint()
+	}
+	g1, m1 := EncoderPoolStats()
+	if g1-g0 < int64(len(cfgs)) {
+		t.Fatalf("pool gets advanced by %d for %d fingerprints", g1-g0, len(cfgs))
+	}
+	if m1 > g1 {
+		t.Fatalf("pool misses %d exceed gets %d", m1, g1)
+	}
+	if raceEnabled {
+		return // race instrumentation inflates allocation counts
+	}
+	cfg := cfgs[len(cfgs)-1]
+	if n := testing.AllocsPerRun(100, func() { cfg.Fingerprint() }); n > 0 {
+		t.Errorf("Fingerprint allocates %.1f objects/op on a warm pool", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { cfg.Encode() }); n > 1 {
+		t.Errorf("Encode allocates %.1f objects/op on a warm pool (want ≤1: the key copy)", n)
+	}
+}

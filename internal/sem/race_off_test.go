@@ -1,0 +1,5 @@
+//go:build !race
+
+package sem
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package sem
+
+// raceEnabled gates allocation-count assertions: race instrumentation
+// adds bookkeeping allocations that are not the encoder's.
+const raceEnabled = true

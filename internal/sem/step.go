@@ -46,7 +46,17 @@ type StepResult struct {
 // Step executes one atomic transition of the process at index procIdx and
 // returns the successor configuration (never mutating the receiver). A
 // runtime error yields a terminal error configuration, not a Go error.
-func (c *Config) Step(procIdx int) *StepResult {
+func (c *Config) Step(procIdx int) *StepResult { return c.step(procIdx, false) }
+
+// StepQuiet is Step without access/allocation instrumentation: the
+// returned StepResult carries no Events or Allocs. The transition itself
+// is identical — the split-write decision that Step derives from the
+// event stream is tracked independently — so callers that consume only
+// the successor configuration (the explorers, unless a Sink or event
+// collection needs the stream) skip the per-access Event allocations.
+func (c *Config) StepQuiet(procIdx int) *StepResult { return c.step(procIdx, true) }
+
+func (c *Config) step(procIdx int, quiet bool) *StepResult {
 	pr := c.Procs[procIdx]
 	pending := pr.Status == StatusRunning && c.hasPending(pr)
 	stmt := c.NextStmt(procIdx)
@@ -54,7 +64,7 @@ func (c *Config) Step(procIdx int) *StepResult {
 		panic(fmt.Sprintf("sem: Step on disabled process %s", c.Procs[procIdx].Path))
 	}
 	c2 := c.clone()
-	st := &stepper{cfg: c2, cloned: map[string]bool{}}
+	st := &stepper{cfg: c2, cloned: map[string]bool{}, quiet: quiet}
 	p := st.mutProcAt(procIdx)
 	res := &StepResult{Config: c2, Stmt: stmt, Proc: p.Path}
 	st.res = res
@@ -105,12 +115,10 @@ func (st *stepper) splitWrite(dest retDest) bool {
 	if st.cfg.Gran != GranRef || dest.kind != retLoc || !st.cfg.isSharedLoc(dest.loc) {
 		return false
 	}
-	for _, ev := range st.res.Events {
-		if ev.ProcPath == st.proc.Path && ev.Kind == Read && st.cfg.isSharedLoc(ev.Loc) {
-			return true
-		}
-	}
-	return false
+	// sharedRead mirrors "some recorded event is a shared read" (every
+	// event carries st.proc.Path) and survives quiet mode, where the
+	// event stream itself is not materialized.
+	return st.sharedRead
 }
 
 // stepper carries the mutable state of one transition.
@@ -119,6 +127,11 @@ type stepper struct {
 	proc   *Process
 	res    *StepResult
 	cloned map[string]bool
+	// quiet suppresses Event/AllocEvent materialization (StepQuiet);
+	// sharedRead remembers that the step performed a critical shared
+	// read, the one fact splitWrite needs from the event stream.
+	quiet      bool
+	sharedRead bool
 }
 
 // mutProcAt clones the process at index i (once per step) and returns it.
@@ -155,6 +168,12 @@ func (st *stepper) rerr(s lang.Stmt, format string, args ...any) error {
 
 // event records a shared access.
 func (st *stepper) event(stmt lang.NodeID, kind AccessKind, loc Loc) {
+	if kind == Read && st.cfg.isSharedLoc(loc) {
+		st.sharedRead = true
+	}
+	if st.quiet {
+		return
+	}
 	ev := Event{
 		ProcPath: st.proc.Path,
 		Stmt:     stmt,

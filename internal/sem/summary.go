@@ -20,6 +20,22 @@ func newSummary(nglobals int) *Summary {
 	return &Summary{GR: make([]bool, nglobals), GW: make([]bool, nglobals)}
 }
 
+// Reset clears s in place (resizing the bit vectors if the global count
+// changed) so callers can reuse one Summary across FutureSummaryInto
+// calls instead of allocating per process per expansion.
+func (s *Summary) Reset(nglobals int) {
+	if len(s.GR) != nglobals {
+		s.GR = make([]bool, nglobals)
+		s.GW = make([]bool, nglobals)
+	} else {
+		for i := range s.GR {
+			s.GR[i] = false
+			s.GW[i] = false
+		}
+	}
+	s.HR, s.HW = false, false
+}
+
 // add unions other into s, reporting whether s changed.
 func (s *Summary) add(other *Summary) bool {
 	changed := false
@@ -281,6 +297,14 @@ func (sm *Summaries) targetInto(out *Summary, t lang.Expr) {
 // the stack.
 func (sm *Summaries) FutureSummary(c *Config, procIdx int) *Summary {
 	out := newSummary(len(sm.prog.Globals))
+	sm.FutureSummaryInto(out, c, procIdx)
+	return out
+}
+
+// FutureSummaryInto is FutureSummary writing into a caller-owned (and
+// caller-Reset) Summary — the allocation-free form the stubborn-set
+// check uses once per live process per expansion.
+func (sm *Summaries) FutureSummaryInto(out *Summary, c *Config, procIdx int) {
 	p := c.Procs[procIdx]
 	addLocWrite := func(l Loc) {
 		switch l.Space {
@@ -313,5 +337,4 @@ func (sm *Summaries) FutureSummary(c *Config, procIdx int) *Summary {
 	// A waiting process resumes after its children finish; its own future
 	// is captured above. Its children are separate processes with their
 	// own futures.
-	return out
 }
