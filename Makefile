@@ -26,7 +26,7 @@ bench:
 # against BASE (default origin/main) and print the benchstat delta.
 # Requires benchstat (go install golang.org/x/perf/cmd/benchstat@latest).
 BASE ?= origin/main
-BENCH_PAT ?= BenchmarkPhilosophers|BenchmarkEncode|BenchmarkParallelExploration
+BENCH_PAT ?= BenchmarkPhilosophers|BenchmarkEncode|BenchmarkParallelExploration|BenchmarkAbstract
 benchcmp:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -count=6 . > /tmp/bench-head.txt
 	@tmp=$$(mktemp -d); \

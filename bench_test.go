@@ -275,6 +275,24 @@ func BenchmarkAbstractInterpret(b *testing.B) {
 	}
 }
 
+// BenchmarkAbstractParallel measures the parallel abstract fixpoint
+// engine against the sequential worklist on the heaviest abstract
+// reference workload (workers-n1 dispatches to the classic sequential
+// loop, so it IS the pre-PR baseline; 2 and 4 run the round-structured
+// parallel engine). Results are bit-identical at every worker count, so
+// benchstat comparisons isolate pure scheduling cost/benefit.
+func BenchmarkAbstractParallel(b *testing.B) {
+	prog := workloads.Philosophers(5)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := abssem.Analyze(prog, abssem.Options{Domain: absdom.IntervalDomain{}, Workers: workers})
+				b.ReportMetric(float64(res.States), "states")
+			}
+		})
+	}
+}
+
 func BenchmarkStubbornSelection(b *testing.B) {
 	prog := workloads.Philosophers(5)
 	res := explore.Explore(prog, explore.Options{Reduction: explore.Stubborn, Coarsen: true, MaxConfigs: 1 << 22})

@@ -4,9 +4,12 @@
 // same rows EXPERIMENTS.md records.
 //
 // Unless -verify=false, it then re-runs the recorded reference workloads
-// (internal/paperexp.Expectations) with metrics enabled and exits
-// non-zero if any state/edge/terminal count diverges from its recorded
-// expectation — the regression gate CI's bench job enforces.
+// (internal/paperexp.Expectations and AbsExpectations) with metrics
+// enabled and exits non-zero if any state/edge/terminal/visit count
+// diverges from its recorded expectation, or if an abstract run
+// truncates — the regression gate CI's bench job enforces. -workers N
+// runs the abstract verification with the parallel fixpoint engine,
+// whose counts must match the same recorded rows at any worker count.
 //
 // With -json FILE it also writes a machine-readable report: environment,
 // per-experiment tables, and per-workload rows (counts, wall-clock,
@@ -30,15 +33,17 @@ import (
 
 // report is the -json output document.
 type report struct {
-	GoOS        string                 `json:"goos"`
-	GoArch      string                 `json:"goarch"`
-	GoVersion   string                 `json:"go_version"`
-	Small       bool                   `json:"small"`
-	ExactKeys   bool                   `json:"exact_keys"`
-	Experiments []experimentRow        `json:"experiments"`
-	Workloads   []paperexp.WorkloadRow `json:"workloads,omitempty"`
-	TotalMillis float64                `json:"total_millis"`
-	OK          bool                   `json:"ok"`
+	GoOS        string                    `json:"goos"`
+	GoArch      string                    `json:"goarch"`
+	GoVersion   string                    `json:"go_version"`
+	Small       bool                      `json:"small"`
+	ExactKeys   bool                      `json:"exact_keys"`
+	Workers     int                       `json:"workers"`
+	Experiments []experimentRow           `json:"experiments"`
+	Workloads   []paperexp.WorkloadRow    `json:"workloads,omitempty"`
+	AbsRuns     []paperexp.AbsWorkloadRow `json:"abstract_workloads,omitempty"`
+	TotalMillis float64                   `json:"total_millis"`
+	OK          bool                      `json:"ok"`
 }
 
 type experimentRow struct {
@@ -55,6 +60,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment by ID (e.g. E4)")
 	verify := flag.Bool("verify", true, "check reference workloads against recorded state counts; exit 1 on divergence")
 	exactKeys := flag.Bool("exact-keys", false, "verify the reference workloads with full canonical keys instead of the default 128-bit fingerprints")
+	workers := flag.Int("workers", 0, "worker goroutines for the abstract verification runs (0/1 sequential, <0 GOMAXPROCS); recorded counts must hold at any count")
 	jsonOut := flag.String("json", "", "write a machine-readable report (experiments + per-workload metrics rows) to this file")
 	flag.Parse()
 
@@ -65,6 +71,7 @@ func main() {
 		GoVersion: runtime.Version(),
 		Small:     *small,
 		ExactKeys: *exactKeys,
+		Workers:   *workers,
 		OK:        true,
 	}
 
@@ -112,6 +119,33 @@ func main() {
 			if !row.OK {
 				fmt.Fprintf(os.Stderr, "paperbench: %s/%s diverged from recorded expectation: %s\n",
 					row.Workload, row.Strategy, row.Diag)
+			}
+		}
+
+		// Abstract gate: the §6 fixpoint counts, verified at the requested
+		// worker count (the engine is bit-identical at any count, so the
+		// recorded rows need no per-worker variants). Truncated runs fail
+		// loudly instead of silently verifying against partial results.
+		rep.AbsRuns = paperexp.VerifyAbstractWorkloads(*workers)
+		fmt.Printf("\n%-16s %-10s %8s %10s %10s %10s %10s  %s\n",
+			"abstract", "domain", "workers", "states", "visits", "joins", "widenings", "ok")
+		for _, row := range rep.AbsRuns {
+			ok := "ok"
+			switch {
+			case row.Truncated:
+				ok = "TRUNCATED"
+				rep.OK = false
+			case !row.OK:
+				ok = "DIVERGED"
+				rep.OK = false
+			}
+			fmt.Printf("%-16s %-10s %8d %10d %10d %10d %10d  %s\n",
+				row.Workload, row.Domain, row.Workers, row.States, row.Visits, row.Joins, row.Widenings, ok)
+		}
+		for _, row := range rep.AbsRuns {
+			if !row.OK {
+				fmt.Fprintf(os.Stderr, "paperbench: abstract %s/%s diverged from recorded expectation: %s\n",
+					row.Workload, row.Domain, row.Diag)
 			}
 		}
 	}

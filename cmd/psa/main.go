@@ -17,8 +17,13 @@
 //	psa -anomalies prog.cb
 //	psa -hoist loop:flag -constprop use:k prog.cb
 //	psa -abstract sign prog.cb
+//	psa -abstract interval -workers 4 prog.cb
 //	psa -metrics prog.cb
 //	psa -metrics-json out.json prog.cb
+//
+// -workers N runs both the concrete explorer and the abstract fixpoint
+// engine with N worker goroutines (0/1 sequential, negative GOMAXPROCS);
+// every reported number is identical at any worker count.
 //
 // Observability: -metrics prints an engine-counter report (states
 // generated/deduped per BFS level, stubborn-set decisions, widening and
@@ -57,6 +62,7 @@ func main() {
 		unreachable = flag.Bool("unreachable", false, "report statements no execution can reach")
 		invariants  = flag.String("invariants", "", "label: print the abstract value of every global at that statement")
 		report      = flag.Bool("report", false, "print a full markdown analysis report")
+		workers     = flag.Int("workers", 0, "worker goroutines for the concrete explorer and the abstract fixpoint (0/1 sequential, <0 GOMAXPROCS); results are identical at any count")
 		showMetrics = flag.Bool("metrics", false, "print the engine metrics report after the analyses")
 		metricsJSON = flag.String("metrics-json", "", "write the engine metrics snapshot as JSON to this file")
 		progress    = flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 2s)")
@@ -102,6 +108,7 @@ func main() {
 			{"stubborn+coarsen", core.ExploreOptions{Reduction: core.Stubborn, Coarsen: true}},
 		} {
 			cfg.opts.Metrics = reg
+			cfg.opts.Workers = *workers
 			res := a.Explore(cfg.opts)
 			fmt.Printf("%-17s %s\n", cfg.name+":", res)
 		}
@@ -182,8 +189,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown domain %q (const|sign|interval)\n", *abstract)
 			os.Exit(2)
 		}
-		res := a.AbstractWith(core.AbstractOptions{Domain: dom, ClanFold: *clan, Metrics: reg})
+		res := a.AbstractWith(core.AbstractOptions{Domain: dom, ClanFold: *clan, Workers: *workers, Metrics: reg})
 		fmt.Println(res)
+		if res.Truncated {
+			fmt.Println("  WARNING: fixpoint truncated (MaxStates hit); invariants cover the explored prefix only")
+		}
 		for _, g := range a.Prog.Globals {
 			if v, ok := res.GlobalInvariant(g.Name); ok {
 				fmt.Printf("  %s = %s at termination\n", g.Name, v)
@@ -258,7 +268,7 @@ func main() {
 
 	if !ran {
 		// Default action: quick exploration summary plus anomalies.
-		res := a.Explore(core.ExploreOptions{Reduction: core.Stubborn, Coarsen: true, Metrics: reg})
+		res := a.Explore(core.ExploreOptions{Reduction: core.Stubborn, Coarsen: true, Workers: *workers, Metrics: reg})
 		fmt.Println(res)
 		for _, an := range a.Anomalies() {
 			fmt.Printf("anomaly between %s and %s on %s\n",

@@ -12,6 +12,16 @@
 // tools; bench_test.go regenerates every figure and table of the paper's
 // evaluation (see EXPERIMENTS.md).
 //
+// Both engines are deterministically parallel: the concrete explorer
+// (explore.Options.Workers) and the abstract fixpoint engine
+// (abssem.Options.Workers) fan expensive per-state work out across
+// worker goroutines while a serial merge owns all order-sensitive
+// bookkeeping — dedup and frontier order in the explorer; joins,
+// widening decisions, and worklist order in the abstract interpreter —
+// so every result and every deterministic metric is bit-identical at
+// any worker count (differential tests pin this under the race
+// detector).
+//
 // The engines are instrumented through internal/metrics, a nil-safe
 // registry of atomic counters, per-level statistics, and phase timings
 // that costs nothing when disabled. The tools expose it via -metrics /

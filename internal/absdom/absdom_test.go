@@ -274,6 +274,33 @@ func TestStoreWriteTargetsStrongVsWeak(t *testing.T) {
 	}
 }
 
+func TestStoreClone(t *testing.T) {
+	d := ConstDomain{}
+	s := NewStore(d, []int64{10, 20})
+	ht := Target{Heap: true, Site: 5}
+	s = s.JoinHeap(ht, OfInt(d, 1))
+	c := s.Clone()
+	if c == s {
+		t.Fatal("Clone returned the receiver")
+	}
+	if !c.Eq(s) || c.String() != s.String() {
+		t.Fatalf("clone differs: %s vs %s", c, s)
+	}
+	// The clone must share no structure: growing it through the shallow
+	// update paths must leave the original untouched (and vice versa),
+	// even for the heap map, which shallow() shares.
+	c2 := c.JoinHeap(ht, OfInt(d, 2))
+	if s.Heap(ht).CoversInt(2) {
+		t.Error("updating a clone leaked into the original heap")
+	}
+	if !c2.Heap(ht).CoversInt(1) || !c2.Heap(ht).CoversInt(2) {
+		t.Error("clone lost heap values")
+	}
+	if c, ok := c.Global(0).Num.AsConst(); !ok || c != 10 {
+		t.Error("clone lost global values")
+	}
+}
+
 func TestStoreJoinWiden(t *testing.T) {
 	d := IntervalDomain{}
 	a := NewStore(d, []int64{0})

@@ -113,6 +113,22 @@ func (s *Store) shallow() *Store {
 	return &Store{dom: s.dom, globals: s.globals, heap: s.heap}
 }
 
+// Clone returns a store equal to s that shares no slice or map structure
+// with it. Results handed out of an analysis (per-point invariants,
+// terminal joins) are cloned so they can never alias the engine's live
+// state, whatever a client or a later engine pass does with them.
+func (s *Store) Clone() *Store {
+	ns := &Store{
+		dom:     s.dom,
+		globals: append([]Value(nil), s.globals...),
+		heap:    make(map[Target]Value, len(s.heap)),
+	}
+	for k, v := range s.heap {
+		ns.heap[k] = v
+	}
+	return ns
+}
+
 // Join merges two stores pointwise.
 func (s *Store) Join(o *Store) *Store {
 	ns := &Store{dom: s.dom}

@@ -11,23 +11,43 @@ import (
 )
 
 // Options configures an abstract interpretation.
+//
+// The integer limits follow one convention: the zero value selects the
+// documented default (so Options{} works), and a NEGATIVE value is the
+// explicit request for the boundary value 0, which zero-value defaulting
+// would otherwise make unreachable. Package explore's Options follow the
+// same audit: there, too, 0 means "default" everywhere, and the only
+// meaningful boundary (Workers) already has explicit negative semantics.
 type Options struct {
 	// Domain is the numeric abstract domain (default absdom.ConstDomain).
 	Domain absdom.NumDomain
 	// KBirth is the k-limit for birthdate abstraction (default 2).
+	// Negative requests k = 0: procedure strings carry no birthdate
+	// context at all, so every allocation site folds into one summary.
 	KBirth int
 	// RecLimit bounds simultaneous activations of one function; deeper
 	// recursion is havocked through its static effect summary (default 3).
+	// Negative requests the limit 0: every call is havocked immediately.
 	RecLimit int
 	// ClanFold merges cobegin arms with identical bodies into one
 	// abstract process (§6.2, McDowell's clans).
 	ClanFold bool
 	// MaxStates bounds the number of abstract configurations (default
-	// 1<<18).
+	// 1<<18 for zero or negative values; there is no meaningful bound
+	// below 1). A truncated run still reports invariants, terminals, and
+	// footprints for the prefix it explored — see Result.Truncated.
 	MaxStates int
 	// WidenAfter is the number of joins at one control point before
-	// widening kicks in (default 4).
+	// widening kicks in (default 4). Negative requests 0: widening on the
+	// first rejoin, the fastest-converging (coarsest) iteration strategy.
 	WidenAfter int
+	// Workers > 1 runs the fixpoint with that many goroutines expanding
+	// each worklist round in parallel; 0 or 1 is sequential and a
+	// negative count uses GOMAXPROCS. Every Result field and every
+	// deterministic metrics counter is bit-identical to the sequential
+	// engine's for any worker count: joins, widening decisions, dedup,
+	// and queue order stay in a serial per-round merge (see aparallel.go).
+	Workers int
 	// CollectFootprints records per-statement abstract access footprints
 	// (Result.FootprintOf / Conflicts) — the §5.2 dependences computed
 	// from the abstract semantics with no concrete exploration.
@@ -38,21 +58,25 @@ type Options struct {
 	Metrics *metrics.Registry
 }
 
+// fill normalizes the limits: 0 → default, negative → 0 (the explicit
+// boundary request the zero-value defaulting would otherwise swallow).
 func (o *Options) fill() {
+	norm := func(v *int, def int) {
+		switch {
+		case *v == 0:
+			*v = def
+		case *v < 0:
+			*v = 0
+		}
+	}
 	if o.Domain == nil {
 		o.Domain = absdom.ConstDomain{}
 	}
-	if o.KBirth == 0 {
-		o.KBirth = 2
-	}
-	if o.RecLimit == 0 {
-		o.RecLimit = 3
-	}
-	if o.MaxStates == 0 {
+	norm(&o.KBirth, 2)
+	norm(&o.RecLimit, 3)
+	norm(&o.WidenAfter, 4)
+	if o.MaxStates <= 0 {
 		o.MaxStates = 1 << 18
-	}
-	if o.WidenAfter == 0 {
-		o.WidenAfter = 4
 	}
 }
 
@@ -70,7 +94,11 @@ type Result struct {
 	TerminalCount int
 	// MayError reports that some folded execution may fault.
 	MayError bool
-	// Truncated reports that MaxStates was hit.
+	// Truncated reports that MaxStates was hit. The invariants, terminal
+	// join, and footprints still cover the explored prefix — they are
+	// sound only for the configurations actually reached, not for the
+	// program (the fixpoint was cut short), so clients must treat them
+	// as partial.
 	Truncated bool
 
 	prog *lang.Program
@@ -140,13 +168,14 @@ type aState struct {
 	cfg    *AConfig
 	visits int
 	queued bool
+	// changed is the merge sequence number of the last join that grew
+	// this state's value component. Only the parallel engine reads it
+	// (stale-expansion detection); the sequential engine leaves it 0.
+	changed int
 }
 
-// Analyze runs the abstract interpretation of prog to a fixpoint.
-func Analyze(prog *lang.Program, opts Options) *Result {
-	opts.fill()
-	m := opts.Metrics
-	defer m.Phase("abstract")()
+// newStepCtx builds the per-run context of the abstract semantics.
+func newStepCtx(prog *lang.Program, opts Options) *stepCtx {
 	sc := &stepCtx{
 		prog:    prog,
 		dom:     opts.Domain,
@@ -159,6 +188,18 @@ func Analyze(prog *lang.Program, opts Options) *Result {
 	if opts.CollectFootprints {
 		sc.foot = &footRec{m: map[lang.NodeID]map[AbsAccess]bool{}}
 	}
+	return sc
+}
+
+// Analyze runs the abstract interpretation of prog to a fixpoint.
+func Analyze(prog *lang.Program, opts Options) *Result {
+	opts.fill()
+	if opts.Workers > 1 || opts.Workers < 0 {
+		return analyzeParallel(prog, opts)
+	}
+	m := opts.Metrics
+	defer m.Phase("abstract")()
+	sc := newStepCtx(prog, opts)
 	res := &Result{prog: prog, foot: sc.foot}
 
 	init := initialConfig(prog, opts.Domain)
@@ -167,6 +208,7 @@ func Analyze(prog *lang.Program, opts Options) *Result {
 	states[sig0] = &aState{cfg: init, queued: true}
 	queue := []ctrlSig{sig0}
 
+fixpoint:
 	for len(queue) > 0 {
 		m.SetGauge(metrics.QueueLen, int64(len(queue)))
 		m.MaxGauge(metrics.MaxFrontier, int64(len(queue)))
@@ -198,10 +240,12 @@ func Analyze(prog *lang.Program, opts Options) *Result {
 				cur, ok := states[nsig]
 				if !ok {
 					if len(states) >= opts.MaxStates {
+						// Truncated: stop iterating, but still fall
+						// through to the collection phase so the run
+						// reports invariants, terminals, and footprints
+						// for the prefix it explored.
 						res.Truncated = true
-						res.States = len(states)
-						m.Add(metrics.AbsStates, int64(len(states)))
-						return res
+						break fixpoint
 					}
 					cur = &aState{cfg: succ.deepCopy()}
 					states[nsig] = cur
@@ -222,10 +266,34 @@ func Analyze(prog *lang.Program, opts Options) *Result {
 		}
 	}
 
+	res.collect(states, m)
+	return res
+}
+
+// collect builds the client-facing views over the explored states: the
+// per-program-point invariants, the terminal join, and the state count.
+// It runs after the fixpoint loop on complete AND truncated runs, and it
+// iterates states in sorted signature order so both engines produce the
+// same joins in the same order (lattice joins are order-insensitive in
+// value, but identical order makes the results bit-identical too).
+//
+// Stores entering res.at and res.Terminal are cloned on first
+// assignment: later joins allocate fresh stores anyway, but the first
+// hit used to alias the state table's live configuration store, so a
+// client mutating a returned invariant — or a future engine pass
+// re-joining a still-queued configuration — could corrupt analysis
+// state.
+func (res *Result) collect(states map[ctrlSig]*aState, m *metrics.Registry) {
 	res.States = len(states)
 	m.Add(metrics.AbsStates, int64(len(states)))
+	sigs := make([]string, 0, len(states))
+	for sig := range states {
+		sigs = append(sigs, string(sig))
+	}
+	sort.Strings(sigs)
 	res.at = map[lang.NodeID]*absdom.Store{}
-	for _, stv := range states {
+	for _, sig := range sigs {
+		stv := states[ctrlSig(sig)]
 		for _, p := range stv.cfg.Procs {
 			if p.Status != Running {
 				continue
@@ -234,14 +302,14 @@ func Analyze(prog *lang.Program, opts Options) *Result {
 				if cur, ok := res.at[s.NodeID()]; ok {
 					res.at[s.NodeID()] = cur.Join(stv.cfg.Store)
 				} else {
-					res.at[s.NodeID()] = stv.cfg.Store
+					res.at[s.NodeID()] = stv.cfg.Store.Clone()
 				}
 			}
 		}
 		if len(stv.cfg.enabled()) == 0 {
 			res.TerminalCount++
 			if res.Terminal == nil {
-				res.Terminal = stv.cfg.Store
+				res.Terminal = stv.cfg.Store.Clone()
 			} else {
 				res.Terminal = res.Terminal.Join(stv.cfg.Store)
 			}
@@ -250,7 +318,6 @@ func Analyze(prog *lang.Program, opts Options) *Result {
 			}
 		}
 	}
-	return res
 }
 
 // initialConfig builds the abstract initial configuration.

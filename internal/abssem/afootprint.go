@@ -24,6 +24,27 @@ type footRec struct {
 	m map[lang.NodeID]map[AbsAccess]bool
 }
 
+// merge unions another recorder into fr. The parallel engine's workers
+// record into private per-process scratch recorders; the serial merge
+// unions them back in worklist order. Set union is order-insensitive,
+// so the result is identical to sequential in-place recording. Nil-safe
+// on both sides (footprints may not be collected at all).
+func (fr *footRec) merge(o *footRec) {
+	if fr == nil || o == nil {
+		return
+	}
+	for stmt, accs := range o.m {
+		s := fr.m[stmt]
+		if s == nil {
+			s = make(map[AbsAccess]bool, len(accs))
+			fr.m[stmt] = s
+		}
+		for acc := range accs {
+			s[acc] = true
+		}
+	}
+}
+
 func (fr *footRec) add(stmt lang.NodeID, acc AbsAccess) {
 	if fr == nil || stmt == 0 {
 		return

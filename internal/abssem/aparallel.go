@@ -1,0 +1,259 @@
+package abssem
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"psa/internal/lang"
+	"psa/internal/metrics"
+)
+
+// analyzeParallel is the multi-worker abstract fixpoint engine: the same
+// worklist iteration as the sequential Analyze, restructured into rounds
+// so successor generation parallelizes while the lattice bookkeeping
+// stays serial (after Kim, Venet & Thakur, "Deterministic Parallel
+// Fixpoint Computation", POPL 2020, and the concrete explorer's
+// level-synchronized design in explore/parallel.go).
+//
+// Each round snapshots the pending worklist and fans the expensive,
+// side-effect-free work — sc.step (abstract transfer functions),
+// signature (Taylor fold keys), and footprint recording into private
+// scratch — out across workers using the concrete explorer's strided-
+// grain + CAS-claim + steal-cursor scheduling. The serial merge then
+// replays the worklist in exactly the sequential engine's order: visits,
+// dedup, joins, widening decisions (visits >= WidenAfter), queue
+// appends, and the MaxStates truncation cut all happen in one goroutine,
+// so every Result field and every deterministic metrics counter is
+// bit-identical to the sequential engine's for any worker count.
+//
+// The one way a snapshot can go stale — and the reason a naive leveled
+// parallelization of THIS worklist would diverge from the sequential
+// engine — is a join: merging an earlier entry of the round may grow the
+// value state of a later entry (the abstract engine joins into stored
+// states, where the concrete explorer's states are immutable). The merge
+// tracks a per-state change sequence number; an entry whose state grew
+// after the workers snapshotted it is re-expanded serially from its
+// current value state, exactly as the sequential engine would have seen
+// it. Stale entries are rare in practice (a state must be re-joined in
+// the same round that re-visits it) and are counted in the perf-only
+// abs_stale_recomputes metric.
+func analyzeParallel(prog *lang.Program, opts Options) *Result {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Metrics discipline mirrors the concrete parallel explorer: every
+	// counter that must match the sequential engine (visits, joins,
+	// widenings, states) is recorded in the serial merge; workers only
+	// compute. The worker-dependent counters (abs_steals) and the
+	// round-structure ones (abs_stale_recomputes) are perf-only.
+	m := opts.Metrics
+	defer m.Phase("abstract")()
+	sc := newStepCtx(prog, opts)
+	res := &Result{prog: prog, foot: sc.foot}
+
+	init := initialConfig(prog, opts.Domain)
+	states := map[ctrlSig]*aState{}
+	sig0 := init.signature()
+	states[sig0] = &aState{cfg: init, queued: true}
+	queue := []ctrlSig{sig0}
+	head := 0
+	// mergeSeq numbers the joins that changed a stored state; a worklist
+	// entry is stale when its state's change number postdates the round
+	// snapshot the workers expanded.
+	mergeSeq := 0
+
+fixpoint:
+	for head < len(queue) {
+		round := queue[head:]
+		roundStart := mergeSeq
+		m.SetGauge(metrics.AbsFrontierWidth, int64(len(round)))
+
+		// Expansion phase: precompute every entry's successors from a
+		// snapshot of its value state. States are only mutated by the
+		// (not yet running) merge, so workers read them freely.
+		stopExpand := m.Phase("abstract-expand")
+		exps := make([]aExpansion, len(round))
+		expand1 := func(i int) {
+			exps[i] = expandState(sc, states[round[i]].cfg)
+		}
+
+		n := len(round)
+		grain := n / (workers * 8)
+		if grain < 1 {
+			grain = 1
+		} else if grain > 256 {
+			grain = 256
+		}
+		grains := (n + grain - 1) / grain
+		nw := workers
+		if nw > grains {
+			nw = grains
+		}
+		if nw <= 1 {
+			for i := 0; i < n; i++ {
+				expand1(i)
+			}
+		} else {
+			claimed := make([]atomic.Bool, grains)
+			var stealCursor, steals atomic.Int64
+			runGrain := func(g int) {
+				lo, hi := g*grain, (g+1)*grain
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					expand1(i)
+				}
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < nw; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for g := w; g < grains; g += nw {
+						if claimed[g].CompareAndSwap(false, true) {
+							runGrain(g)
+						}
+					}
+					for {
+						g := int(stealCursor.Add(1)) - 1
+						if g >= grains {
+							return
+						}
+						if claimed[g].CompareAndSwap(false, true) {
+							steals.Add(1)
+							runGrain(g)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			m.Add(metrics.AbsSteals, steals.Load())
+		}
+		stopExpand()
+
+		// Merge phase: replay the sequential worklist over the round.
+		stopMerge := m.Phase("abstract-merge")
+		for i, sig := range round {
+			m.SetGauge(metrics.QueueLen, int64(len(queue)-head))
+			m.MaxGauge(metrics.MaxFrontier, int64(len(queue)-head))
+			head++
+			stv := states[sig]
+			stv.queued = false
+			stv.visits++
+			res.Visits++
+			m.Inc(metrics.AbsVisits)
+
+			e := &exps[i]
+			if len(e.enabled) == 0 {
+				continue // terminal; collected after the fixpoint
+			}
+			if stv.changed > roundStart {
+				// A join earlier in this round grew this entry's value
+				// state after the snapshot; recompute its successors from
+				// the state the sequential engine would have expanded.
+				*e = expandState(sc, stv.cfg)
+				m.Inc(metrics.AbsStaleRecomputes)
+			}
+			for j := range e.enabled {
+				sc.foot.merge(e.foots[j])
+				for k, succ := range e.succs[j] {
+					if succ.Procs == nil {
+						// Error witness: no continuation.
+						if succ.MayError {
+							res.MayError = true
+						}
+						continue
+					}
+					if succ.MayError {
+						res.MayError = true
+					}
+					nsig := e.sigs[j][k]
+					cur, ok := states[nsig]
+					if !ok {
+						if len(states) >= opts.MaxStates {
+							res.Truncated = true
+							stopMerge()
+							break fixpoint
+						}
+						cur = &aState{cfg: succ.deepCopy()}
+						states[nsig] = cur
+						cur.queued = true
+						queue = append(queue, nsig)
+						continue
+					}
+					widen := cur.visits >= opts.WidenAfter
+					m.Inc(metrics.AbsJoins)
+					if widen {
+						m.Inc(metrics.AbsWidenings)
+					}
+					if cur.cfg.joinInto(succ, widen) {
+						mergeSeq++
+						cur.changed = mergeSeq
+						if !cur.queued {
+							cur.queued = true
+							queue = append(queue, nsig)
+						}
+					}
+				}
+			}
+		}
+		stopMerge()
+	}
+
+	res.collect(states, m)
+	return res
+}
+
+// aExpansion is one worklist entry's precomputed expansion: per enabled
+// process, the successors of sc.step, their fold signatures (empty for
+// error witnesses, whose control is gone), and the footprints the step
+// recorded into private scratch (nil unless collecting).
+type aExpansion struct {
+	enabled []int
+	succs   [][]*AConfig
+	sigs    [][]ctrlSig
+	foots   []*footRec
+}
+
+// expandState computes the successors of every enabled process of cfg.
+// It must perform exactly the work the sequential engine's inner loop
+// performs — sc.step and signature, with footprints attributed per
+// process — because the serial merge replays its output in sequential
+// order, including the mid-entry MaxStates truncation cut (which drops
+// whole processes, so footprints are scoped per process too). When
+// footprints are being collected, each process steps through a shallow
+// copy of sc pointing at a private scratch recorder, so concurrent
+// expansions never share the mutable footprint map; everything else in
+// sc is read-only during a round.
+func expandState(sc *stepCtx, cfg *AConfig) aExpansion {
+	e := aExpansion{enabled: cfg.enabled()}
+	if len(e.enabled) == 0 {
+		return e
+	}
+	e.succs = make([][]*AConfig, len(e.enabled))
+	e.sigs = make([][]ctrlSig, len(e.enabled))
+	e.foots = make([]*footRec, len(e.enabled))
+	for j, pi := range e.enabled {
+		scStep := sc
+		if sc.foot != nil {
+			fr := &footRec{m: map[lang.NodeID]map[AbsAccess]bool{}}
+			c := *sc
+			c.foot = fr
+			scStep = &c
+			e.foots[j] = fr
+		}
+		succs := scStep.step(cfg, pi)
+		sigs := make([]ctrlSig, len(succs))
+		for k, succ := range succs {
+			if succ.Procs != nil {
+				sigs[k] = succ.signature()
+			}
+		}
+		e.succs[j] = succs
+		e.sigs[j] = sigs
+	}
+	return e
+}

@@ -45,6 +45,14 @@ func (r Reduction) String() string {
 }
 
 // Options configures an exploration.
+//
+// Zero-value audit (the abssem.Options defaulting-bug sweep): every
+// integer field here treats 0 as "use the default", and no meaningful
+// boundary value is swallowed by that — MaxConfigs has no sensible
+// bound below 1, and Workers already gives 0/1 (sequential) and
+// negative (GOMAXPROCS) explicit meanings. New limit fields with a
+// meaningful 0 must follow abssem's convention: 0 defaults, negative
+// requests the boundary 0.
 type Options struct {
 	// Reduction selects full or stubborn-set expansion (default Full).
 	Reduction Reduction
@@ -73,9 +81,9 @@ type Options struct {
 	// implies exact keys, since graph nodes are addressed by key.
 	ExactKeys bool
 	// Workers > 1 explores with that many goroutines (level-synchronized
-	// BFS); 0 or 1 is sequential. Counts, result sets, discovery
-	// parents, frontier order, and the sink event stream are all
-	// identical to the sequential explorer's.
+	// BFS); 0 or 1 is sequential and a negative count uses GOMAXPROCS.
+	// Counts, result sets, discovery parents, frontier order, and the
+	// sink event stream are all identical to the sequential explorer's.
 	Workers int
 	// Sink, when non-nil, receives instrumentation callbacks during
 	// exploration regardless of CollectEvents.

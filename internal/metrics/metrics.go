@@ -72,6 +72,17 @@ const (
 	// claimed outside their home stride (dynamic load balancing). Also
 	// perf-only and scheduling-dependent.
 	FrontierSteals
+	// AbsSteals is FrontierSteals for the parallel abstract fixpoint
+	// engine: expansion grains claimed outside a worker's home stride.
+	// Perf-only.
+	AbsSteals
+	// AbsStaleRecomputes counts worklist entries the parallel abstract
+	// engine had to re-expand serially because a join earlier in the same
+	// round grew their value state after the workers snapshotted it. The
+	// count is a deterministic property of the round structure, but the
+	// sequential engine never recomputes, so it stays outside the
+	// deterministic counter set.
+	AbsStaleRecomputes
 	numCounters
 )
 
@@ -93,6 +104,8 @@ var counterNames = [numCounters]string{
 	EncPoolHit:           "enc_pool_hit",
 	EncPoolMiss:          "enc_pool_miss",
 	FrontierSteals:       "frontier_steals",
+	AbsSteals:            "abs_steals",
+	AbsStaleRecomputes:   "abs_stale_recomputes",
 }
 
 // PerfOnly reports whether the counter measures implementation effort
@@ -101,7 +114,7 @@ var counterNames = [numCounters]string{
 // determinism tests compare all others.
 func (c Counter) PerfOnly() bool {
 	switch c {
-	case EncPoolHit, EncPoolMiss, FrontierSteals:
+	case EncPoolHit, EncPoolMiss, FrontierSteals, AbsSteals, AbsStaleRecomputes:
 		return true
 	}
 	return false
@@ -130,15 +143,20 @@ const (
 	// at the end of a run: full key bytes in exact mode, fingerprint
 	// table bytes in fingerprint mode.
 	VisitedBytes
+	// AbsFrontierWidth is the number of worklist entries the parallel
+	// abstract fixpoint engine expanded in the current round; its peak
+	// over a run is the abstract analogue of MaxFrontier.
+	AbsFrontierWidth
 	numGauges
 )
 
 var gaugeNames = [numGauges]string{
-	FrontierWidth: "frontier_width",
-	Level:         "level",
-	MaxFrontier:   "max_frontier",
-	QueueLen:      "queue_len",
-	VisitedBytes:  "visited_bytes",
+	FrontierWidth:    "frontier_width",
+	Level:            "level",
+	MaxFrontier:      "max_frontier",
+	QueueLen:         "queue_len",
+	VisitedBytes:     "visited_bytes",
+	AbsFrontierWidth: "abs_frontier_width",
 }
 
 // String returns the snake_case snapshot key of the gauge.

@@ -38,3 +38,20 @@ func TestExpectationDivergenceDetected(t *testing.T) {
 		t.Error("divergent row carries no diagnostic")
 	}
 }
+
+// Every recorded abstract expectation must hold at 1 and 4 workers —
+// the parallel engine's bit-identical contract means one recorded row
+// gates every worker count.
+func TestAbsExpectationsHold(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for _, row := range VerifyAbstractWorkloads(workers) {
+			if !row.OK {
+				t.Errorf("workers=%d %s/%s: %s", workers, row.Workload, row.Domain, row.Diag)
+				continue
+			}
+			if row.Truncated {
+				t.Errorf("workers=%d %s/%s: OK row but truncated", workers, row.Workload, row.Domain)
+			}
+		}
+	}
+}
