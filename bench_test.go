@@ -7,6 +7,7 @@ package psa
 // both the numbers and their cost.
 
 import (
+	"fmt"
 	"testing"
 
 	"psa/internal/absdom"
@@ -17,6 +18,7 @@ import (
 	"psa/internal/lang"
 	"psa/internal/metrics"
 	"psa/internal/paperexp"
+	"psa/internal/sched"
 	"psa/internal/sem"
 	"psa/internal/workloads"
 )
@@ -387,6 +389,47 @@ func BenchmarkExplore(b *testing.B) {
 			b.ReportMetric(float64(res.States), "states")
 		}
 	})
+}
+
+// BenchmarkSchedRounds measures the shared deterministic runtime
+// (internal/sched) in isolation from the engines: one persistent pool
+// reused across every round, each round fanning n items of fixed
+// arithmetic into position-indexed slots and merging them serially in
+// order. Varying n sweeps the grain heuristic from one-grain rounds to
+// MaxGrain-capped ones; varying workers isolates fan-out, claim, and
+// steal overhead (workers-1 is the inline serial path, so benchstat
+// deltas against it price the scheduling itself).
+func BenchmarkSchedRounds(b *testing.B) {
+	work := func(i int) uint64 {
+		h := uint64(i)*0x9e3779b97f4a7c15 + 1
+		for k := 0; k < 256; k++ {
+			h ^= h >> 33
+			h *= 0xff51afd7ed558ccd
+		}
+		return h
+	}
+	for _, n := range []int{64, 4096} {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("n%d-workers%d", n, workers), func(b *testing.B) {
+				pool := sched.ForWorkers(workers)
+				defer pool.Close()
+				rounds := sched.NewRounds[uint64](pool, sched.Hooks{})
+				var want uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var sum uint64
+					rounds.Do(n,
+						func(j int, slot *uint64) { *slot = work(j) },
+						func(j int, slot *uint64) bool { sum += *slot; return true })
+					if want == 0 {
+						want = sum
+					} else if sum != want {
+						b.Fatalf("round checksum %#x, want %#x", sum, want)
+					}
+				}
+			})
+		}
+	}
 }
 
 func BenchmarkParallelExploration(b *testing.B) {

@@ -34,6 +34,7 @@ import (
 
 	"psa/internal/core"
 	"psa/internal/metrics"
+	"psa/internal/sched"
 	"psa/internal/sem"
 )
 
@@ -97,6 +98,11 @@ func main() {
 		}()
 	}
 
+	// One worker pool serves every exploration of the invocation (nil —
+	// and ignored by the engine — for sequential worker counts).
+	pool := sched.ForWorkers(*workers)
+	defer pool.Close()
+
 	var reg *metrics.Registry
 	if *showMet || *metJSON != "" || *progress > 0 {
 		reg = metrics.New()
@@ -147,6 +153,8 @@ func main() {
 			c.opts.MaxConfigs = *max
 			c.opts.Metrics = reg
 			c.opts.ExactKeys = *exactKeys
+			c.opts.Workers = *workers
+			c.opts.Pool = pool
 			res := a.Explore(c.opts)
 			marker := ""
 			if i == 0 {
@@ -159,7 +167,7 @@ func main() {
 		return
 	}
 
-	opts := core.ExploreOptions{Coarsen: *coarsen, MaxConfigs: *max, Workers: *workers, Metrics: reg, ExactKeys: *exactKeys}
+	opts := core.ExploreOptions{Coarsen: *coarsen, MaxConfigs: *max, Workers: *workers, Pool: pool, Metrics: reg, ExactKeys: *exactKeys}
 	switch *reduction {
 	case "full":
 		opts.Reduction = core.Full

@@ -42,6 +42,7 @@ import (
 	"psa/internal/core"
 	"psa/internal/lang"
 	"psa/internal/metrics"
+	"psa/internal/sched"
 )
 
 func main() {
@@ -84,6 +85,11 @@ func main() {
 		return
 	}
 
+	// One worker pool spans every parallel engine run of the invocation
+	// (nil — and ignored by the engines — for sequential worker counts).
+	pool := sched.ForWorkers(*workers)
+	defer pool.Close()
+
 	// One registry spans every analysis the invocation runs; phases keep
 	// the explorations and abstract runs apart in the report.
 	var reg *metrics.Registry
@@ -109,6 +115,7 @@ func main() {
 		} {
 			cfg.opts.Metrics = reg
 			cfg.opts.Workers = *workers
+			cfg.opts.Pool = pool
 			res := a.Explore(cfg.opts)
 			fmt.Printf("%-17s %s\n", cfg.name+":", res)
 		}
@@ -189,7 +196,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown domain %q (const|sign|interval)\n", *abstract)
 			os.Exit(2)
 		}
-		res := a.AbstractWith(core.AbstractOptions{Domain: dom, ClanFold: *clan, Workers: *workers, Metrics: reg})
+		res := a.AbstractWith(core.AbstractOptions{Domain: dom, ClanFold: *clan, Workers: *workers, Pool: pool, Metrics: reg})
 		fmt.Println(res)
 		if res.Truncated {
 			fmt.Println("  WARNING: fixpoint truncated (MaxStates hit); invariants cover the explored prefix only")
@@ -268,7 +275,7 @@ func main() {
 
 	if !ran {
 		// Default action: quick exploration summary plus anomalies.
-		res := a.Explore(core.ExploreOptions{Reduction: core.Stubborn, Coarsen: true, Workers: *workers, Metrics: reg})
+		res := a.Explore(core.ExploreOptions{Reduction: core.Stubborn, Coarsen: true, Workers: *workers, Pool: pool, Metrics: reg})
 		fmt.Println(res)
 		for _, an := range a.Anomalies() {
 			fmt.Printf("anomaly between %s and %s on %s\n",

@@ -12,15 +12,16 @@
 // tools; bench_test.go regenerates every figure and table of the paper's
 // evaluation (see EXPERIMENTS.md).
 //
-// Both engines are deterministically parallel: the concrete explorer
-// (explore.Options.Workers) and the abstract fixpoint engine
-// (abssem.Options.Workers) fan expensive per-state work out across
-// worker goroutines while a serial merge owns all order-sensitive
-// bookkeeping — dedup and frontier order in the explorer; joins,
-// widening decisions, and worklist order in the abstract interpreter —
-// so every result and every deterministic metric is bit-identical at
-// any worker count (differential tests pin this under the race
-// detector).
+// Both engines are deterministically parallel on one shared runtime,
+// internal/sched: a persistent worker pool (explore/abssem
+// Options.Workers size a private one; Options.Pool shares one across
+// engine calls, as the CLIs do) fans expensive per-state work out into
+// position-indexed slots while a serial in-order merge owns all
+// order-sensitive bookkeeping — dedup and frontier order in the
+// explorer; joins, widening decisions, and worklist order in the
+// abstract interpreter — so every result and every deterministic
+// metric is bit-identical at any worker count (differential tests pin
+// this under the race detector).
 //
 // The engines are instrumented through internal/metrics, a nil-safe
 // registry of atomic counters, per-level statistics, and phase timings

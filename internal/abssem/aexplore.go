@@ -7,6 +7,7 @@ import (
 	"psa/internal/absdom"
 	"psa/internal/lang"
 	"psa/internal/metrics"
+	"psa/internal/sched"
 	"psa/internal/sem"
 )
 
@@ -48,6 +49,13 @@ type Options struct {
 	// engine's for any worker count: joins, widening decisions, dedup,
 	// and queue order stay in a serial per-round merge (see aparallel.go).
 	Workers int
+	// Pool, when non-nil, is the shared scheduler pool (internal/sched)
+	// the parallel fixpoint runs on: its worker count governs
+	// scheduling, the caller keeps ownership (Analyze never closes it),
+	// and consecutive Explore/Analyze calls may reuse it to amortize
+	// worker startup. Nil makes each parallel run create a private pool
+	// sized by Workers. Ignored on sequential runs.
+	Pool *sched.Pool
 	// CollectFootprints records per-statement abstract access footprints
 	// (Result.FootprintOf / Conflicts) — the §5.2 dependences computed
 	// from the abstract semantics with no concrete exploration.

@@ -1,31 +1,30 @@
 package abssem
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"psa/internal/lang"
 	"psa/internal/metrics"
+	"psa/internal/sched"
 )
 
 // analyzeParallel is the multi-worker abstract fixpoint engine: the same
 // worklist iteration as the sequential Analyze, restructured into rounds
-// so successor generation parallelizes while the lattice bookkeeping
-// stays serial (after Kim, Venet & Thakur, "Deterministic Parallel
-// Fixpoint Computation", POPL 2020, and the concrete explorer's
+// on the shared deterministic runtime (internal/sched) so successor
+// generation parallelizes while the lattice bookkeeping stays serial
+// (after Kim, Venet & Thakur, "Deterministic Parallel Fixpoint
+// Computation", POPL 2020, and the concrete explorer's
 // level-synchronized design in explore/parallel.go).
 //
 // Each round snapshots the pending worklist and fans the expensive,
 // side-effect-free work — sc.step (abstract transfer functions),
 // signature (Taylor fold keys), and footprint recording into private
-// scratch — out across workers using the concrete explorer's strided-
-// grain + CAS-claim + steal-cursor scheduling. The serial merge then
-// replays the worklist in exactly the sequential engine's order: visits,
-// dedup, joins, widening decisions (visits >= WidenAfter), queue
-// appends, and the MaxStates truncation cut all happen in one goroutine,
-// so every Result field and every deterministic metrics counter is
-// bit-identical to the sequential engine's for any worker count.
+// scratch — out across sched's persistent workers using the strided-
+// grain + CAS-claim + steal-cursor scheduling both engines share. The
+// serial merge then replays the worklist in exactly the sequential
+// engine's order: visits, dedup, joins, widening decisions (visits >=
+// WidenAfter), queue appends, and the MaxStates truncation cut all
+// happen in one goroutine, so every Result field and every
+// deterministic metrics counter is bit-identical to the sequential
+// engine's for any worker count.
 //
 // The one way a snapshot can go stale — and the reason a naive leveled
 // parallelization of THIS worklist would diverge from the sequential
@@ -39,15 +38,17 @@ import (
 // the same round that re-visits it) and are counted in the perf-only
 // abs_stale_recomputes metric.
 func analyzeParallel(prog *lang.Program, opts Options) *Result {
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	pool := opts.Pool
+	if pool == nil {
+		pool = sched.NewPool(opts.Workers)
+		defer pool.Close()
 	}
 	// Metrics discipline mirrors the concrete parallel explorer: every
 	// counter that must match the sequential engine (visits, joins,
 	// widenings, states) is recorded in the serial merge; workers only
-	// compute. The worker-dependent counters (abs_steals) and the
-	// round-structure ones (abs_stale_recomputes) are perf-only.
+	// compute. The worker-dependent counters (abs_steals, fed through
+	// the sched steal hook) and the round-structure ones
+	// (abs_stale_recomputes) are perf-only.
 	m := opts.Metrics
 	defer m.Phase("abstract")()
 	sc := newStepCtx(prog, opts)
@@ -64,79 +65,28 @@ func analyzeParallel(prog *lang.Program, opts Options) *Result {
 	// snapshot the workers expanded.
 	mergeSeq := 0
 
-fixpoint:
+	rounds := sched.NewRounds[aExpansion](pool, sched.Hooks{
+		Width:       func(n int) { m.SetGauge(metrics.AbsFrontierWidth, int64(n)) },
+		Steals:      func(s int64) { m.Add(metrics.AbsSteals, s) },
+		ExpandPhase: func() func() { return m.Phase("abstract-expand") },
+		MergePhase:  func() func() { return m.Phase("abstract-merge") },
+	})
+
 	for head < len(queue) {
 		round := queue[head:]
 		roundStart := mergeSeq
-		m.SetGauge(metrics.AbsFrontierWidth, int64(len(round)))
 
 		// Expansion phase: precompute every entry's successors from a
 		// snapshot of its value state. States are only mutated by the
 		// (not yet running) merge, so workers read them freely.
-		stopExpand := m.Phase("abstract-expand")
-		exps := make([]aExpansion, len(round))
-		expand1 := func(i int) {
-			exps[i] = expandState(sc, states[round[i]].cfg)
+		expand1 := func(i int, e *aExpansion) {
+			*e = expandState(sc, states[round[i]].cfg)
 		}
 
-		n := len(round)
-		grain := n / (workers * 8)
-		if grain < 1 {
-			grain = 1
-		} else if grain > 256 {
-			grain = 256
-		}
-		grains := (n + grain - 1) / grain
-		nw := workers
-		if nw > grains {
-			nw = grains
-		}
-		if nw <= 1 {
-			for i := 0; i < n; i++ {
-				expand1(i)
-			}
-		} else {
-			claimed := make([]atomic.Bool, grains)
-			var stealCursor, steals atomic.Int64
-			runGrain := func(g int) {
-				lo, hi := g*grain, (g+1)*grain
-				if hi > n {
-					hi = n
-				}
-				for i := lo; i < hi; i++ {
-					expand1(i)
-				}
-			}
-			var wg sync.WaitGroup
-			for w := 0; w < nw; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					for g := w; g < grains; g += nw {
-						if claimed[g].CompareAndSwap(false, true) {
-							runGrain(g)
-						}
-					}
-					for {
-						g := int(stealCursor.Add(1)) - 1
-						if g >= grains {
-							return
-						}
-						if claimed[g].CompareAndSwap(false, true) {
-							steals.Add(1)
-							runGrain(g)
-						}
-					}
-				}(w)
-			}
-			wg.Wait()
-			m.Add(metrics.AbsSteals, steals.Load())
-		}
-		stopExpand()
-
-		// Merge phase: replay the sequential worklist over the round.
-		stopMerge := m.Phase("abstract-merge")
-		for i, sig := range round {
+		// Merge phase: replay the sequential worklist over one round
+		// entry; returns false on the MaxStates truncation cut.
+		merge1 := func(i int, e *aExpansion) bool {
+			sig := round[i]
 			m.SetGauge(metrics.QueueLen, int64(len(queue)-head))
 			m.MaxGauge(metrics.MaxFrontier, int64(len(queue)-head))
 			head++
@@ -146,9 +96,8 @@ fixpoint:
 			res.Visits++
 			m.Inc(metrics.AbsVisits)
 
-			e := &exps[i]
 			if len(e.enabled) == 0 {
-				continue // terminal; collected after the fixpoint
+				return true // terminal; collected after the fixpoint
 			}
 			if stv.changed > roundStart {
 				// A join earlier in this round grew this entry's value
@@ -175,8 +124,7 @@ fixpoint:
 					if !ok {
 						if len(states) >= opts.MaxStates {
 							res.Truncated = true
-							stopMerge()
-							break fixpoint
+							return false
 						}
 						cur = &aState{cfg: succ.deepCopy()}
 						states[nsig] = cur
@@ -199,8 +147,12 @@ fixpoint:
 					}
 				}
 			}
+			return true
 		}
-		stopMerge()
+
+		if !rounds.Do(len(round), expand1, merge1) {
+			break // truncated: fall through to collection
+		}
 	}
 
 	res.collect(states, m)

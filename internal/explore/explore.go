@@ -23,6 +23,7 @@ import (
 
 	"psa/internal/lang"
 	"psa/internal/metrics"
+	"psa/internal/sched"
 	"psa/internal/sem"
 )
 
@@ -85,6 +86,13 @@ type Options struct {
 	// Counts, result sets, discovery parents, frontier order, and the
 	// sink event stream are all identical to the sequential explorer's.
 	Workers int
+	// Pool, when non-nil, is the shared scheduler pool (internal/sched)
+	// parallel exploration runs on: its worker count governs scheduling,
+	// the caller keeps ownership (the explorer never closes it), and
+	// consecutive Explore/Analyze calls may reuse it to amortize worker
+	// startup. Nil makes each parallel exploration run a private pool
+	// sized by Workers. Ignored on sequential runs.
+	Pool *sched.Pool
 	// Sink, when non-nil, receives instrumentation callbacks during
 	// exploration regardless of CollectEvents.
 	Sink Sink

@@ -1,43 +1,42 @@
 package explore
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"psa/internal/metrics"
+	"psa/internal/sched"
 	"psa/internal/sem"
 )
 
 // exploreParallel is the multi-worker variant of ExploreFrom: a
-// level-synchronized breadth-first generation of the configuration space.
-// Each BFS level's frontier is split across workers, which do the
-// expensive work (enabledness, stubborn sets, firing, canonical
-// encoding or fingerprinting) in parallel; configuration identity is then
+// level-synchronized breadth-first generation of the configuration space
+// on the shared deterministic runtime (internal/sched). Each BFS level's
+// frontier is split across workers, which do the expensive work
+// (enabledness, stubborn sets, firing, canonical encoding or
+// fingerprinting) in parallel; configuration identity is then
 // deduplicated in the serial per-level merge, so the state count,
 // terminal set, edge count, discovery parents, AND frontier ordering are
 // EXACTLY those of the sequential explorer (the paper's numbers do not
 // depend on how many cores generated them — verified by differential
 // tests).
 //
-// Scheduling within a level is dynamic: the frontier is cut into small
-// grains, each worker first claims the grains of its own stride
-// (cheaply, but guarded by a per-grain CAS), and workers that run dry
-// steal leftover grains through a shared atomic index. A level whose
-// expansion cost is skewed — one deep coarsened run amid hundreds of
-// cheap terminals — therefore no longer serializes on the one worker
-// whose static chunk happened to contain the expensive configurations.
-// Which worker computes a grain never matters for the output: results
-// land in the grain's slots of a position-indexed array that only the
-// serial merge reads.
+// Scheduling within a level is sched's strided-grain + CAS-claim +
+// steal-cursor loop: a level whose expansion cost is skewed — one deep
+// coarsened run amid hundreds of cheap terminals — no longer serializes
+// on the one worker whose static chunk happened to contain the expensive
+// configurations. Which worker computes a grain never matters for the
+// output: results land in position-indexed slots (sched.Rounds) that
+// only the serial merge reads. The worker goroutines are persistent for
+// the whole exploration (and beyond, when Options.Pool is shared), so
+// deep explorations no longer pay a spawn per level.
 //
 // Instrumentation (Sink callbacks, metrics, collected events, graph
 // bookkeeping) is serialized per level in deterministic frontier order,
 // so sinks and the metrics registry see the same stream as a sequential
 // run, regardless of worker count.
 func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	pool := opts.Pool
+	if pool == nil {
+		pool = sched.NewPool(workers)
+		defer pool.Close()
 	}
 	// Metrics discipline: every counter that must match the sequential
 	// explorer exactly (state/edge/dedup, level stats, stubborn
@@ -46,7 +45,7 @@ func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
 	// registry. In particular fire() returns its absorbed-step count so
 	// speculative work past a truncation cut is not counted. The only
 	// worker-dependent counters are the perf-only ones (steals, encoder
-	// pool traffic).
+	// pool traffic), routed through the sched steal hook.
 	m := opts.Metrics
 	defer m.Phase("explore")()
 	var sm *sem.Summaries
@@ -82,13 +81,107 @@ func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
 	res.States = 1
 	m.Inc(metrics.StatesUnique)
 
-	type expansion struct {
-		terminal bool
-		enabled  []int
-		steps    []*sem.StepResult
-		keys     []sem.Key         // exact mode
-		fps      []sem.Fingerprint // fingerprint mode
-		absorbed []int             // coarsened micro-steps per fired transition
+	rounds := sched.NewRounds[expansion](pool, sched.Hooks{
+		Steals: func(s int64) { m.Add(metrics.FrontierSteals, s) },
+	})
+
+	var next []item
+	expand1 := func(i int, e *expansion) {
+		cur := frontier[i]
+		e.enabled = cur.cfg.Enabled()
+		if len(e.enabled) == 0 {
+			e.terminal = true
+			return
+		}
+		expand := e.enabled
+		if opts.Reduction == Stubborn {
+			expand = stubbornSet(cur.cfg, e.enabled, sm)
+		}
+		absorbLateCritical := opts.Reduction == Full
+		for _, pi := range expand {
+			step, absorbed := fire(cur.cfg, pi, opts, absorbLateCritical)
+			e.steps = append(e.steps, step)
+			if ky.exact {
+				e.keys = append(e.keys, ky.keyOf(step.Config))
+			} else {
+				e.fps = append(e.fps, ky.fpOf(step.Config))
+			}
+			e.absorbed = append(e.absorbed, absorbed)
+		}
+	}
+
+	// Deterministic sequential merge of one frontier entry's results;
+	// returns false on the MaxConfigs truncation cut.
+	merge1 := func(i int, e *expansion) bool {
+		cur := frontier[i]
+		if e.terminal {
+			tk := cur.key
+			if !ky.exact {
+				tk = ky.keyOf(cur.cfg)
+			}
+			res.Terminals[tk] = cur.cfg
+			m.Inc(metrics.TerminalsSeen)
+			if cur.cfg.Err != "" {
+				res.Errors = append(res.Errors, cur.cfg)
+				m.Inc(metrics.ErrorsSeen)
+			}
+			if res.Graph != nil {
+				n := res.Graph.Nodes[cur.key]
+				n.Terminal = true
+				n.Err = cur.cfg.Err
+			}
+			return true
+		}
+		if opts.Sink != nil {
+			reportCoEnabled(cur.cfg, e.enabled, opts.Sink)
+		}
+		if opts.Reduction == Stubborn {
+			countStubbornDecision(m, len(e.steps), len(e.enabled))
+		}
+		for j, step := range e.steps {
+			res.Edges++
+			m.Inc(metrics.TransitionsFired)
+			m.Inc(metrics.StatesGenerated)
+			m.Add(metrics.CoarsenedSteps, int64(e.absorbed[j]))
+			if opts.Sink != nil {
+				opts.Sink.Transition(step)
+			}
+			if opts.CollectEvents {
+				res.Events = append(res.Events, step.Events...)
+				res.Allocs = append(res.Allocs, step.Allocs...)
+			}
+			var k sem.Key
+			var fresh bool
+			if ky.exact {
+				k = e.keys[j]
+				fresh = vis.addKey(k)
+			} else {
+				fresh = vis.addFP(e.fps[j])
+			}
+			if res.Graph != nil {
+				res.Graph.Nodes[cur.key].Out = append(res.Graph.Nodes[cur.key].Out,
+					Edge{To: k, Proc: step.Proc, Stmt: describeStep(step)})
+			}
+			if fresh {
+				res.States++
+				m.Inc(metrics.StatesUnique)
+				if res.Graph != nil {
+					res.Graph.Nodes[k] = &Node{
+						Key: k, Index: len(res.Graph.Order),
+						Parent: cur.key, ParentProc: step.Proc, ParentStmt: describeStep(step),
+					}
+					res.Graph.Order = append(res.Graph.Order, k)
+				}
+				if res.States >= opts.MaxConfigs {
+					res.Truncated = true
+					return false
+				}
+				next = append(next, item{step.Config, k})
+			} else {
+				m.Inc(metrics.DedupHits)
+			}
+		}
+		return true
 	}
 
 	for len(frontier) > 0 {
@@ -96,159 +189,30 @@ func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
 			res.MaxFrontier = len(frontier)
 		}
 		m.BeginLevel(len(frontier))
-		exps := make([]expansion, len(frontier))
-
-		expand1 := func(i int) {
-			cur := frontier[i]
-			e := &exps[i]
-			e.enabled = cur.cfg.Enabled()
-			if len(e.enabled) == 0 {
-				e.terminal = true
-				return
-			}
-			expand := e.enabled
-			if opts.Reduction == Stubborn {
-				expand = stubbornSet(cur.cfg, e.enabled, sm)
-			}
-			absorbLateCritical := opts.Reduction == Full
-			for _, pi := range expand {
-				step, absorbed := fire(cur.cfg, pi, opts, absorbLateCritical)
-				e.steps = append(e.steps, step)
-				if ky.exact {
-					e.keys = append(e.keys, ky.keyOf(step.Config))
-				} else {
-					e.fps = append(e.fps, ky.fpOf(step.Config))
-				}
-				e.absorbed = append(e.absorbed, absorbed)
-			}
-		}
-
-		// Grain-level scheduling: home stride first, then steal.
-		n := len(frontier)
-		grain := n / (workers * 8)
-		if grain < 1 {
-			grain = 1
-		} else if grain > 256 {
-			grain = 256
-		}
-		grains := (n + grain - 1) / grain
-		claimed := make([]atomic.Bool, grains)
-		var stealCursor, steals atomic.Int64
-		runGrain := func(g int) {
-			lo, hi := g*grain, (g+1)*grain
-			if hi > n {
-				hi = n
-			}
-			for i := lo; i < hi; i++ {
-				expand1(i)
-			}
-		}
-
-		var wg sync.WaitGroup
-		nw := workers
-		if nw > grains {
-			nw = grains
-		}
-		for w := 0; w < nw; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for g := w; g < grains; g += nw {
-					if claimed[g].CompareAndSwap(false, true) {
-						runGrain(g)
-					}
-				}
-				for {
-					g := int(stealCursor.Add(1)) - 1
-					if g >= grains {
-						return
-					}
-					if claimed[g].CompareAndSwap(false, true) {
-						steals.Add(1)
-						runGrain(g)
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
-		m.Add(metrics.FrontierSteals, steals.Load())
-
-		// Deterministic sequential merge of the level's results.
-		var next []item
-		for i := range frontier {
-			cur := frontier[i]
-			e := &exps[i]
-			if e.terminal {
-				tk := cur.key
-				if !ky.exact {
-					tk = ky.keyOf(cur.cfg)
-				}
-				res.Terminals[tk] = cur.cfg
-				m.Inc(metrics.TerminalsSeen)
-				if cur.cfg.Err != "" {
-					res.Errors = append(res.Errors, cur.cfg)
-					m.Inc(metrics.ErrorsSeen)
-				}
-				if res.Graph != nil {
-					n := res.Graph.Nodes[cur.key]
-					n.Terminal = true
-					n.Err = cur.cfg.Err
-				}
-				continue
-			}
-			if opts.Sink != nil {
-				reportCoEnabled(cur.cfg, e.enabled, opts.Sink)
-			}
-			if opts.Reduction == Stubborn {
-				countStubbornDecision(m, len(e.steps), len(e.enabled))
-			}
-			for j, step := range e.steps {
-				res.Edges++
-				m.Inc(metrics.TransitionsFired)
-				m.Inc(metrics.StatesGenerated)
-				m.Add(metrics.CoarsenedSteps, int64(e.absorbed[j]))
-				if opts.Sink != nil {
-					opts.Sink.Transition(step)
-				}
-				if opts.CollectEvents {
-					res.Events = append(res.Events, step.Events...)
-					res.Allocs = append(res.Allocs, step.Allocs...)
-				}
-				var k sem.Key
-				var fresh bool
-				if ky.exact {
-					k = e.keys[j]
-					fresh = vis.addKey(k)
-				} else {
-					fresh = vis.addFP(e.fps[j])
-				}
-				if res.Graph != nil {
-					res.Graph.Nodes[cur.key].Out = append(res.Graph.Nodes[cur.key].Out,
-						Edge{To: k, Proc: step.Proc, Stmt: describeStep(step)})
-				}
-				if fresh {
-					res.States++
-					m.Inc(metrics.StatesUnique)
-					if res.Graph != nil {
-						res.Graph.Nodes[k] = &Node{
-							Key: k, Index: len(res.Graph.Order),
-							Parent: cur.key, ParentProc: step.Proc, ParentStmt: describeStep(step),
-						}
-						res.Graph.Order = append(res.Graph.Order, k)
-					}
-					if res.States >= opts.MaxConfigs {
-						res.Truncated = true
-						m.EndLevel()
-						return res
-					}
-					next = append(next, item{step.Config, k})
-				} else {
-					m.Inc(metrics.DedupHits)
-				}
-			}
-		}
+		// next must be a fresh slice each level: the merge appends to it
+		// while later frontier entries are still unread, so it can never
+		// share the frontier's backing array.
+		next = nil
+		ok := rounds.Do(len(frontier), expand1, merge1)
 		m.EndLevel()
+		if !ok {
+			return res
+		}
 		frontier = next
 	}
 	return res
+}
+
+// expansion is one frontier entry's precomputed level results: the
+// enabled set, the fired steps with their state identities (keys in
+// exact mode, fingerprints otherwise), and the coarsened micro-step
+// counts — everything the serial merge needs to replay the sequential
+// explorer's bookkeeping.
+type expansion struct {
+	terminal bool
+	enabled  []int
+	steps    []*sem.StepResult
+	keys     []sem.Key         // exact mode
+	fps      []sem.Fingerprint // fingerprint mode
+	absorbed []int             // coarsened micro-steps per fired transition
 }

@@ -3,6 +3,7 @@ package metrics
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -233,3 +234,47 @@ func TestProgressReporter(t *testing.T) {
 type writerFunc func(p []byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// The scheduling-dependent counters — steal counts fed by the sched
+// runtime's hooks, encoder-pool traffic, stale recomputes — must be
+// flagged perf-only and stripped from the map determinism comparisons
+// read, however large they get; deterministic counters must survive.
+func TestPerfOnlyCountersExcludedFromDeterminism(t *testing.T) {
+	perfOnly := []Counter{EncPoolHit, EncPoolMiss, FrontierSteals, AbsSteals, AbsStaleRecomputes}
+	deterministic := []Counter{StatesUnique, StatesGenerated, DedupHits, TransitionsFired,
+		TerminalsSeen, ErrorsSeen, CoarsenedSteps, AbsVisits, AbsJoins, AbsWidenings, AbsStates}
+	for _, c := range perfOnly {
+		if !c.PerfOnly() {
+			t.Errorf("%s must be perf-only", c)
+		}
+	}
+	for _, c := range deterministic {
+		if c.PerfOnly() {
+			t.Errorf("%s must not be perf-only", c)
+		}
+	}
+
+	// Two registries with identical deterministic traffic but wildly
+	// different scheduling counters must compare equal.
+	a, b := New(), New()
+	for _, r := range []*Registry{a, b} {
+		r.Add(StatesUnique, 100)
+		r.Add(TransitionsFired, 250)
+	}
+	a.Add(FrontierSteals, 7)
+	a.Add(AbsSteals, 3)
+	a.Add(EncPoolMiss, 12)
+	b.Add(AbsStaleRecomputes, 5)
+	got, want := a.Snapshot().DeterministicCounters(), b.Snapshot().DeterministicCounters()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("deterministic counters differ despite identical deterministic traffic:\n  a %v\n  b %v", got, want)
+	}
+	for _, c := range perfOnly {
+		if _, present := got[c.String()]; present {
+			t.Errorf("perf-only counter %s leaked into the determinism map", c)
+		}
+	}
+	if got[StatesUnique.String()] != 100 {
+		t.Errorf("deterministic counter states_unique = %d, want 100", got[StatesUnique.String()])
+	}
+}

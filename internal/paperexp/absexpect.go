@@ -8,6 +8,7 @@ import (
 	"psa/internal/abssem"
 	"psa/internal/lang"
 	"psa/internal/metrics"
+	"psa/internal/sched"
 	"psa/internal/workloads"
 )
 
@@ -87,11 +88,17 @@ type AbsWorkloadRow struct {
 func VerifyAbstractWorkloads(workers int) []AbsWorkloadRow {
 	exps := AbsExpectations()
 	rows := make([]AbsWorkloadRow, 0, len(exps))
+	// One pool serves every workload run at this worker count (nil — and
+	// ignored by the engine — for sequential requests), so the sweep also
+	// exercises pool reuse across consecutive engine invocations.
+	pool := sched.ForWorkers(workers)
+	defer pool.Close()
 	for _, e := range exps {
 		m := metrics.New()
 		opts := e.opts
 		opts.Metrics = m
 		opts.Workers = workers
+		opts.Pool = pool
 		start := time.Now()
 		res := abssem.Analyze(e.prog(), opts)
 		dur := time.Since(start)

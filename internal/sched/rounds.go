@@ -1,0 +1,93 @@
+package sched
+
+// Hooks are the optional observability callbacks of a Rounds runtime.
+// Every field may be nil. None of them may influence results: they exist
+// so engines can feed their own metric labels (frontier_steals vs
+// abs_steals, round-width gauges, phase timers) without the runtime
+// knowing about the metrics registry.
+type Hooks struct {
+	// Width receives each round's fan-out width before expansion starts.
+	Width func(n int)
+	// Steals receives the round's stolen-grain count after the fan-out
+	// completes (0 for rounds that ran inline). Steal counts depend on
+	// scheduling, so callers must route them to perf-only counters
+	// (metrics.Counter.PerfOnly) — never into counters that determinism
+	// comparisons read.
+	Steals func(n int64)
+	// ExpandPhase and MergePhase, when set, bracket the parallel fan-out
+	// and the serial merge of each round: called at phase start, and the
+	// function they return at phase end (the metrics.Registry.Phase
+	// shape). MergePhase's stop runs even when the merge stops early.
+	ExpandPhase func() func()
+	MergePhase  func() func()
+}
+
+// Rounds drives the leveled fan-out/serial-merge protocol over slots of
+// type T. Each round, expansion results land in a position-indexed slot
+// array written only by workers (slot i by the worker that drew index
+// i), then a serial merge reads the slots in index order. All
+// order-sensitive engine state — dedup, joins, queue appends, truncation
+// cuts — belongs in the merge, which is the protocol's determinism
+// guarantee: the merge sees exactly the stream a sequential engine would
+// produce, whatever the worker count.
+//
+// The slot array is reused (and zeroed) across rounds, so per-round slot
+// allocation is paid once per high-water mark, not once per round. A
+// Rounds value is not safe for concurrent Do calls.
+type Rounds[T any] struct {
+	pool  *Pool
+	hooks Hooks
+	slots []T
+}
+
+// NewRounds returns a Rounds runtime over the pool (nil for inline
+// serial execution) with the given hooks.
+func NewRounds[T any](pool *Pool, hooks Hooks) *Rounds[T] {
+	return &Rounds[T]{pool: pool, hooks: hooks}
+}
+
+// Pool returns the pool the runtime schedules on (nil when inline).
+func (r *Rounds[T]) Pool() *Pool { return r.pool }
+
+// Do runs one round of width n: expand(i, slot) fills slot i in
+// parallel for every i in [0, n), from zeroed slots; then merge(i, slot)
+// consumes the slots serially in index order. A merge returning false
+// stops the replay immediately (the engines' truncation cut) and Do
+// returns false; otherwise Do returns true once every slot is merged.
+//
+// expand must confine itself to its slot and data no other expansion
+// writes; merge is the only callback that may touch shared engine state.
+func (r *Rounds[T]) Do(n int, expand func(i int, slot *T), merge func(i int, slot *T) bool) bool {
+	if r.hooks.Width != nil {
+		r.hooks.Width(n)
+	}
+	if cap(r.slots) < n {
+		r.slots = make([]T, n)
+	} else {
+		r.slots = r.slots[:n]
+		clear(r.slots)
+	}
+	stopExpand := func() {}
+	if r.hooks.ExpandPhase != nil {
+		stopExpand = r.hooks.ExpandPhase()
+	}
+	steals := r.pool.Run(n, func(i int) { expand(i, &r.slots[i]) })
+	if r.hooks.Steals != nil {
+		r.hooks.Steals(steals)
+	}
+	stopExpand()
+
+	stopMerge := func() {}
+	if r.hooks.MergePhase != nil {
+		stopMerge = r.hooks.MergePhase()
+	}
+	ok := true
+	for i := 0; i < n; i++ {
+		if !merge(i, &r.slots[i]) {
+			ok = false
+			break
+		}
+	}
+	stopMerge()
+	return ok
+}

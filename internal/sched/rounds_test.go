@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The protocol's core guarantee: whatever the worker count, the merge
+// sees slot values in index order, each computed from its own index.
+func TestRoundsMergeOrderDeterministic(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		pool := ForWorkers(workers)
+		r := NewRounds[int](pool, Hooks{})
+		var got []int
+		for round := 0; round < 5; round++ {
+			n := 17 * (round + 1)
+			ok := r.Do(n,
+				func(i int, slot *int) { *slot = i * i },
+				func(i int, slot *int) bool {
+					if *slot != i*i {
+						t.Fatalf("workers=%d: slot %d holds %d, want %d", workers, i, *slot, i*i)
+					}
+					got = append(got, i)
+					return true
+				})
+			if !ok {
+				t.Fatalf("workers=%d: full merge reported early stop", workers)
+			}
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] != got[i-1]+1 && got[i] != 0 {
+				t.Fatalf("workers=%d: merge order broke at %v", workers, got[max(0, i-2):i+1])
+			}
+		}
+		pool.Close()
+	}
+}
+
+// merge returning false stops the replay mid-round — the engines'
+// MaxStates/MaxConfigs truncation cut — without running later merges.
+func TestRoundsEarlyStop(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	r := NewRounds[int](pool, Hooks{})
+	merged := 0
+	ok := r.Do(100,
+		func(i int, slot *int) { *slot = i },
+		func(i int, slot *int) bool {
+			merged++
+			return i < 41
+		})
+	if ok {
+		t.Error("Do returned true despite early stop")
+	}
+	if merged != 42 {
+		t.Errorf("merged %d slots, want 42 (0..40 plus the stopping 41)", merged)
+	}
+	// The runtime stays usable after a cut: the next Do starts clean.
+	if !r.Do(3, func(i int, slot *int) { *slot = i }, func(i int, slot *int) bool { return true }) {
+		t.Error("Do after early stop failed")
+	}
+}
+
+// Slots are reused across rounds but must arrive zeroed, even when the
+// previous round left residue (e.g. appended slices).
+func TestRoundsSlotsZeroedOnReuse(t *testing.T) {
+	r := NewRounds[[]int](nil, Hooks{})
+	r.Do(8,
+		func(i int, slot *[]int) { *slot = append(*slot, i, i, i) },
+		func(i int, slot *[]int) bool { return true })
+	r.Do(4,
+		func(i int, slot *[]int) {
+			if *slot != nil {
+				t.Errorf("slot %d not zeroed on reuse: %v", i, *slot)
+			}
+			*slot = append(*slot, i)
+		},
+		func(i int, slot *[]int) bool {
+			if want := []int{i}; !reflect.DeepEqual(*slot, want) {
+				t.Errorf("slot %d = %v, want %v", i, *slot, want)
+			}
+			return true
+		})
+}
+
+// Hooks fire in protocol order — width, expand phase, steals (inside the
+// expand phase), merge phase — and the merge-phase stop runs even when
+// the merge cuts early.
+func TestRoundsHooks(t *testing.T) {
+	var trace []string
+	h := Hooks{
+		Width:  func(n int) { trace = append(trace, "width") },
+		Steals: func(n int64) { trace = append(trace, "steals") },
+		ExpandPhase: func() func() {
+			trace = append(trace, "expand[")
+			return func() { trace = append(trace, "]expand") }
+		},
+		MergePhase: func() func() {
+			trace = append(trace, "merge[")
+			return func() { trace = append(trace, "]merge") }
+		},
+	}
+	r := NewRounds[int](nil, h)
+	r.Do(5,
+		func(i int, slot *int) { *slot = i },
+		func(i int, slot *int) bool { return i < 2 })
+	want := []string{"width", "expand[", "steals", "]expand", "merge[", "]merge"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Errorf("hook order %v, want %v", trace, want)
+	}
+}
