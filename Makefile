@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build test test-short vet lint bench benchcmp paperbench examples clean \
-	fmt fmt-check race bench-smoke ci
+	fmt fmt-check race bench-smoke fuzz-smoke vulncheck ci
 
 all: build vet test
 
@@ -76,5 +76,26 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 	$(GO) run ./cmd/paperbench -small -json paperbench.json
 
+# Short native-fuzzing pass over the parser targets — enough to catch
+# regressions in the grammar's panic-freedom and round-trip property
+# without the open-ended runtime of a real fuzzing campaign. FUZZTIME
+# can be raised locally (e.g. make fuzz-smoke FUZZTIME=5m).
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test ./internal/lang -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lang -run '^$$' -fuzz '^FuzzLexer$$' -fuzztime $(FUZZTIME)
+
+# Known-vulnerability scan over the module and its (stdlib-only)
+# dependency graph. govulncheck is optional locally, like staticcheck:
+# the target degrades with a notice so `make ci` works offline; the CI
+# vulncheck job always installs and enforces it.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vulncheck: govulncheck not installed; skipped" \
+		     "(go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 # Everything .github/workflows/ci.yml runs, locally.
-ci: fmt-check build lint test race bench-smoke
+ci: fmt-check build lint vulncheck test race bench-smoke fuzz-smoke

@@ -18,6 +18,7 @@ import (
 	"psa/internal/lang"
 	"psa/internal/metrics"
 	"psa/internal/paperexp"
+	"psa/internal/pipeline"
 	"psa/internal/sched"
 	"psa/internal/sem"
 	"psa/internal/workloads"
@@ -184,7 +185,7 @@ func BenchmarkAblation(b *testing.B) { // E12
 // cmd/paperbench prints it (small scale).
 func BenchmarkAllExperiments(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tables := paperexp.All(true)
+		tables := paperexp.All(true, pipeline.RunOptions{})
 		if len(tables) != 15 {
 			b.Fatalf("%d tables", len(tables))
 		}
@@ -314,7 +315,7 @@ func benchName(prefix string, n int) string {
 
 func BenchmarkKLimit(b *testing.B) { // E13
 	for i := 0; i < b.N; i++ {
-		tab := paperexp.E13KLimit()
+		tab := paperexp.E13KLimit(pipeline.RunOptions{})
 		if len(tab.Rows) != 3 {
 			b.Fatal("bad table")
 		}

@@ -137,25 +137,29 @@ func main() {
 		}
 	}()
 
+	// One run configuration spans every exploration of the invocation.
+	a.Configure(core.RunOptions{
+		Workers:    *workers,
+		Pool:       pool,
+		MaxConfigs: *max,
+		ExactKeys:  *exactKeys,
+		Metrics:    reg,
+	})
+
 	if *compare {
-		type combo struct {
-			name string
-			opts core.ExploreOptions
-		}
-		combos := []combo{
-			{"full", core.ExploreOptions{Reduction: core.Full}},
-			{"full+coarsen", core.ExploreOptions{Reduction: core.Full, Coarsen: true}},
-			{"stubborn", core.ExploreOptions{Reduction: core.Stubborn}},
-			{"stubborn+coarsen", core.ExploreOptions{Reduction: core.Stubborn, Coarsen: true}},
+		combos := []struct {
+			name    string
+			red     core.Reduction
+			coarsen bool
+		}{
+			{"full", core.Full, false},
+			{"full+coarsen", core.Full, true},
+			{"stubborn", core.Stubborn, false},
+			{"stubborn+coarsen", core.Stubborn, true},
 		}
 		var ref []string
 		for i, c := range combos {
-			c.opts.MaxConfigs = *max
-			c.opts.Metrics = reg
-			c.opts.ExactKeys = *exactKeys
-			c.opts.Workers = *workers
-			c.opts.Pool = pool
-			res := a.Explore(c.opts)
+			res := a.Explore(a.Options().Strategy(c.red, c.coarsen).ExploreOptions())
 			marker := ""
 			if i == 0 {
 				ref = res.TerminalStoreSet()
@@ -167,7 +171,8 @@ func main() {
 		return
 	}
 
-	opts := core.ExploreOptions{Coarsen: *coarsen, MaxConfigs: *max, Workers: *workers, Pool: pool, Metrics: reg, ExactKeys: *exactKeys}
+	opts := a.Options().ExploreOptions()
+	opts.Coarsen = *coarsen
 	switch *reduction {
 	case "full":
 		opts.Reduction = core.Full

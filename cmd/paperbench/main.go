@@ -8,8 +8,9 @@
 // enabled and exits non-zero if any state/edge/terminal/visit count
 // diverges from its recorded expectation, or if an abstract run
 // truncates — the regression gate CI's bench job enforces. -workers N
-// runs the abstract verification with the parallel fixpoint engine,
-// whose counts must match the same recorded rows at any worker count.
+// threads one shared RunOptions (worker count + one sched.Pool) through
+// every experiment and both verification sweeps; every recorded count
+// must match at any worker count.
 //
 // With -json FILE it also writes a machine-readable report: environment,
 // per-experiment tables, and per-workload rows (counts, wall-clock,
@@ -29,6 +30,8 @@ import (
 	"time"
 
 	"psa/internal/paperexp"
+	"psa/internal/pipeline"
+	"psa/internal/sched"
 )
 
 // report is the -json output document.
@@ -60,9 +63,16 @@ func main() {
 	only := flag.String("only", "", "run a single experiment by ID (e.g. E4)")
 	verify := flag.Bool("verify", true, "check reference workloads against recorded state counts; exit 1 on divergence")
 	exactKeys := flag.Bool("exact-keys", false, "verify the reference workloads with full canonical keys instead of the default 128-bit fingerprints")
-	workers := flag.Int("workers", 0, "worker goroutines for the abstract verification runs (0/1 sequential, <0 GOMAXPROCS); recorded counts must hold at any count")
+	workers := flag.Int("workers", 0, "worker goroutines for every experiment and verification run (0/1 sequential, <0 GOMAXPROCS); recorded counts must hold at any count")
 	jsonOut := flag.String("json", "", "write a machine-readable report (experiments + per-workload metrics rows) to this file")
 	flag.Parse()
+
+	// One run configuration — and one worker pool — spans every
+	// experiment and verification run of the invocation (nil pool, ignored
+	// by the engines, for sequential requests).
+	pool := sched.ForWorkers(*workers)
+	defer pool.Close()
+	ro := pipeline.RunOptions{Workers: *workers, Pool: pool, ExactKeys: *exactKeys}
 
 	start := time.Now()
 	rep := &report{
@@ -82,7 +92,7 @@ func main() {
 		}
 		found = true
 		t0 := time.Now()
-		tab := e.Run()
+		tab := e.Run(ro)
 		fmt.Println(tab)
 		rep.Experiments = append(rep.Experiments, experimentRow{
 			ID:      tab.ID,
@@ -103,7 +113,7 @@ func main() {
 	// requested (exploratory use), unless verification was forced off
 	// anyway.
 	if *verify && *only == "" {
-		rep.Workloads = paperexp.VerifyWorkloadsMode(*exactKeys)
+		rep.Workloads = paperexp.VerifyWorkloadsOpts(ro)
 		fmt.Printf("%-16s %-18s %10s %10s %10s %12s %12s  %s\n",
 			"workload", "strategy", "states", "edges", "dedup", "states/sec", "visited(B)", "ok")
 		for _, row := range rep.Workloads {
@@ -126,7 +136,7 @@ func main() {
 		// worker count (the engine is bit-identical at any count, so the
 		// recorded rows need no per-worker variants). Truncated runs fail
 		// loudly instead of silently verifying against partial results.
-		rep.AbsRuns = paperexp.VerifyAbstractWorkloads(*workers)
+		rep.AbsRuns = paperexp.VerifyAbstractWorkloadsOpts(ro)
 		fmt.Printf("\n%-16s %-10s %8s %10s %10s %10s %10s  %s\n",
 			"abstract", "domain", "workers", "states", "visits", "joins", "widenings", "ok")
 		for _, row := range rep.AbsRuns {

@@ -101,22 +101,26 @@ func main() {
 		defer stop()
 	}
 
+	// One run configuration spans every analysis of the invocation: the
+	// Collect-backed queries (dependences, anomalies, placements, ...)
+	// fuse into one instrumented exploration, and the abstract runs
+	// inherit the same pool and registry.
+	a.Configure(core.RunOptions{Workers: *workers, Pool: pool, Metrics: reg})
+
 	ran := false
 
 	if *doExplore {
 		ran = true
 		for _, cfg := range []struct {
-			name string
-			opts core.ExploreOptions
+			name    string
+			red     core.Reduction
+			coarsen bool
 		}{
-			{"full", core.ExploreOptions{Reduction: core.Full}},
-			{"stubborn", core.ExploreOptions{Reduction: core.Stubborn}},
-			{"stubborn+coarsen", core.ExploreOptions{Reduction: core.Stubborn, Coarsen: true}},
+			{"full", core.Full, false},
+			{"stubborn", core.Stubborn, false},
+			{"stubborn+coarsen", core.Stubborn, true},
 		} {
-			cfg.opts.Metrics = reg
-			cfg.opts.Workers = *workers
-			cfg.opts.Pool = pool
-			res := a.Explore(cfg.opts)
+			res := a.Explore(a.Options().Strategy(cfg.red, cfg.coarsen).ExploreOptions())
 			fmt.Printf("%-17s %s\n", cfg.name+":", res)
 		}
 	}
@@ -196,7 +200,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown domain %q (const|sign|interval)\n", *abstract)
 			os.Exit(2)
 		}
-		res := a.AbstractWith(core.AbstractOptions{Domain: dom, ClanFold: *clan, Workers: *workers, Pool: pool, Metrics: reg})
+		res := a.AbstractWith(core.AbstractOptions{Domain: dom, ClanFold: *clan})
 		fmt.Println(res)
 		if res.Truncated {
 			fmt.Println("  WARNING: fixpoint truncated (MaxStates hit); invariants cover the explored prefix only")
@@ -275,7 +279,7 @@ func main() {
 
 	if !ran {
 		// Default action: quick exploration summary plus anomalies.
-		res := a.Explore(core.ExploreOptions{Reduction: core.Stubborn, Coarsen: true, Workers: *workers, Pool: pool, Metrics: reg})
+		res := a.Explore(a.Options().Strategy(core.Stubborn, true).ExploreOptions())
 		fmt.Println(res)
 		for _, an := range a.Anomalies() {
 			fmt.Printf("anomaly between %s and %s on %s\n",

@@ -88,6 +88,18 @@ func (o *Options) fill() {
 	}
 }
 
+// Normalized returns the options with every limit resolved to the value
+// Analyze will actually run with: 0 becomes the documented default,
+// negative becomes the boundary 0, and a nil Domain becomes ConstDomain.
+// Two Options values that normalize equal configure identical analyses
+// (up to the execution-only fields Workers, Pool, and Metrics, which
+// never change results) — the property the pipeline layer's options-keyed
+// result cache relies on.
+func (o Options) Normalized() Options {
+	o.fill()
+	return o
+}
+
 // Result summarizes an abstract interpretation.
 type Result struct {
 	// States is the number of distinct abstract configurations (control

@@ -26,12 +26,17 @@ import (
 	"psa/internal/apps"
 	"psa/internal/explore"
 	"psa/internal/lang"
+	"psa/internal/metrics"
+	"psa/internal/pipeline"
+	"psa/internal/sched"
 )
 
 // Re-exported option/result types, so clients import only core.
 type (
 	// ExploreOptions configures concrete state-space exploration.
 	ExploreOptions = explore.Options
+	// Reduction selects full or stubborn-set concrete expansion.
+	Reduction = explore.Reduction
 	// ExploreResult is a concrete exploration summary.
 	ExploreResult = explore.Result
 	// AbstractOptions configures the abstract interpreter.
@@ -52,6 +57,12 @@ type (
 	Verdict = apps.Verdict
 	// Program is a parsed, resolved program.
 	Program = lang.Program
+	// RunOptions is the unified analysis-run configuration shared by every
+	// layer of the stack (see internal/pipeline).
+	RunOptions = pipeline.RunOptions
+	// NamedSink pairs an extra exploration consumer with the metrics phase
+	// its callback time reports under.
+	NamedSink = pipeline.NamedSink
 )
 
 // Reduction strategies for Explore.
@@ -60,12 +71,25 @@ const (
 	Stubborn = explore.Stubborn
 )
 
-// Analyzer owns one parsed program and caches derived artifacts.
+// Analyzer owns one parsed program, one RunOptions configuration, and
+// caches of the derived artifacts — collectors and abstract results keyed
+// by the options that produced them, so reconfiguring an analyzer never
+// hands back results computed under different settings (the historical
+// single-slot cache silently did).
+//
+// The zero configuration is sequential with each engine's defaults;
+// Configure threads reductions, worker counts, caps, and metrics through
+// every subsequent run. An analyzer configured for parallel runs lazily
+// creates one shared sched.Pool for all of them; call Close to release
+// it (a no-op otherwise).
 type Analyzer struct {
 	Prog *lang.Program
 
-	collector *analysis.Collector
-	abstract  *abssem.Result
+	opts    pipeline.RunOptions
+	ownPool *sched.Pool
+
+	collectors map[string]*analysis.Collector
+	abstracts  map[string]*abssem.Result
 }
 
 // Parse builds an Analyzer from source text.
@@ -97,35 +121,130 @@ func FromProgram(p *lang.Program) *Analyzer { return &Analyzer{Prog: p} }
 // Format renders the program back to source.
 func (a *Analyzer) Format() string { return lang.Format(a.Prog) }
 
-// Explore generates the reachable configuration space under opts.
+// Configure installs the analyzer's run configuration and returns the
+// analyzer for chaining. Previously cached results are kept — they remain
+// valid for the options that produced them and are still returned when a
+// later Configure restores equivalent options.
+func (a *Analyzer) Configure(ro RunOptions) *Analyzer {
+	a.opts = ro
+	return a
+}
+
+// Options returns the analyzer's current run configuration.
+func (a *Analyzer) Options() RunOptions { return a.opts }
+
+// Close releases the worker pool the analyzer created for its own
+// parallel runs. It never closes a caller-supplied RunOptions.Pool, and
+// is a no-op on sequential analyzers. The analyzer remains usable; a
+// later parallel run recreates the pool.
+func (a *Analyzer) Close() {
+	if a.ownPool != nil {
+		a.ownPool.Close()
+		a.ownPool = nil
+	}
+}
+
+// pool returns the pool every run of this analyzer executes on: the
+// caller-supplied one if configured, otherwise a lazily created analyzer-
+// owned pool sized by Workers (nil for sequential configurations).
+func (a *Analyzer) pool() *sched.Pool {
+	if a.opts.Pool != nil {
+		return a.opts.Pool
+	}
+	if a.ownPool == nil {
+		a.ownPool = sched.ForWorkers(a.opts.Workers)
+	}
+	return a.ownPool
+}
+
+// runOptions is the configured options with the shared pool filled in.
+func (a *Analyzer) runOptions() RunOptions {
+	ro := a.opts
+	ro.Pool = a.pool()
+	return ro
+}
+
+// Explore generates the reachable configuration space under opts. A
+// request at the analyzer's configured width that brings no pool of its
+// own executes on the analyzer's shared pool.
 func (a *Analyzer) Explore(opts ExploreOptions) *ExploreResult {
+	if opts.Pool == nil && opts.Workers == a.opts.Workers {
+		opts.Pool = a.pool()
+	}
 	return explore.Explore(a.Prog, opts)
 }
 
-// Collect runs a full instrumented exploration once and caches the
-// resulting collector; subsequent analysis queries share it.
-func (a *Analyzer) Collect() *Collector {
-	if a.collector == nil {
-		cl := analysis.NewCollector(a.Prog)
-		explore.Explore(a.Prog, explore.Options{Reduction: explore.Full, Sink: cl})
-		a.collector = cl
+// Collect runs one instrumented exploration under the configured options
+// and caches the resulting collector per options key; subsequent analysis
+// queries — Dependences, Anomalies, DeallocationLists, Placements, and
+// the rest — share that single traversal. Extra sinks ride along in the
+// same traversal through the pipeline's MultiSink, observing exactly the
+// stream a dedicated run would deliver them; a cached collector is then
+// reused without being re-fed.
+func (a *Analyzer) Collect(extra ...explore.Sink) *Collector {
+	key := a.opts.Key()
+	cl, hit := a.collectors[key]
+	var sinks []pipeline.NamedSink
+	if !hit {
+		cl = analysis.NewCollector(a.Prog)
+		sinks = append(sinks, pipeline.NamedSink{Name: "collector", Sink: cl})
 	}
-	return a.collector
+	for i, s := range extra {
+		sinks = append(sinks, pipeline.NamedSink{Name: fmt.Sprintf("extra%d", i), Sink: s})
+	}
+	if hit {
+		a.opts.Metrics.Inc(metrics.AnalysisCacheHit)
+		if len(sinks) == 0 {
+			return cl
+		}
+	} else {
+		a.opts.Metrics.Inc(metrics.AnalysisCacheMiss)
+	}
+	pipeline.Explore(a.Prog, a.runOptions(), sinks...)
+	if !hit {
+		if a.collectors == nil {
+			a.collectors = make(map[string]*analysis.Collector)
+		}
+		a.collectors[key] = cl
+	}
+	return cl
 }
 
-// Abstract runs the abstract interpreter once with defaults and caches
-// the result; use AbstractWith for custom options.
+// Abstract runs the abstract interpreter under the configured options
+// (domain defaults, worker count/pool/metrics from Configure) and caches
+// the result; use AbstractWith for engine-specific knobs.
 func (a *Analyzer) Abstract() *AbstractResult {
-	if a.abstract == nil {
-		a.abstract = abssem.Analyze(a.Prog, abssem.Options{})
-	}
-	return a.abstract
+	return a.AbstractWith(a.opts.AbstractOptions())
 }
 
 // AbstractWith runs the abstract interpreter with explicit options
-// (domain, k-limit, clan folding); the result is not cached.
+// (domain, k-limit, clan folding), caching results per normalized
+// options key — AbstractWith(defaults) and Abstract() share one cache
+// entry, and differing options never collide. Zero-valued execution
+// fields (Workers, Pool, Metrics) inherit the analyzer's configuration;
+// they never affect results, only how the run executes.
 func (a *Analyzer) AbstractWith(opts AbstractOptions) *AbstractResult {
-	return abssem.Analyze(a.Prog, opts)
+	key := pipeline.AbstractKey(opts)
+	if res, ok := a.abstracts[key]; ok {
+		a.opts.Metrics.Inc(metrics.AnalysisCacheHit)
+		return res
+	}
+	a.opts.Metrics.Inc(metrics.AnalysisCacheMiss)
+	if opts.Workers == 0 {
+		opts.Workers = a.opts.Workers
+	}
+	if opts.Pool == nil && opts.Workers == a.opts.Workers {
+		opts.Pool = a.pool()
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = a.opts.Metrics
+	}
+	res := abssem.Analyze(a.Prog, opts)
+	if a.abstracts == nil {
+		a.abstracts = make(map[string]*abssem.Result)
+	}
+	a.abstracts[key] = res
+	return res
 }
 
 // Dependences computes the §5.2 data dependences among labeled
@@ -209,7 +328,9 @@ func (a *Analyzer) Restructure(sched *Schedule) (*Analyzer, error) {
 }
 
 // VerifyAgainst explores both programs exhaustively and reports whether
-// their reachable outcome sets over all globals coincide.
+// their reachable outcome sets over all globals coincide. The two
+// explorations run through the analyzer's configured pool — concurrently
+// when the configuration requests parallelism.
 func (a *Analyzer) VerifyAgainst(other *Analyzer) apps.Equivalence {
-	return apps.VerifySchedule(a.Prog, other.Prog)
+	return apps.VerifyScheduleWith(a.Prog, other.Prog, a.runOptions())
 }

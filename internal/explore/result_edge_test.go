@@ -1,0 +1,106 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"psa/internal/lang"
+	"psa/internal/workloads"
+)
+
+// OutcomeSet with an empty label list projects every non-error terminal
+// onto the empty tuple: one entry when any clean terminal exists — the
+// degenerate "did it terminate at all" query — never one entry per
+// terminal.
+func TestOutcomeSetEmptyLabelList(t *testing.T) {
+	res := Explore(workloads.Fig2(), Options{Reduction: Full})
+	outs := res.OutcomeSet()
+	if len(outs) != 1 || len(outs[0]) != 0 {
+		t.Fatalf("OutcomeSet() = %v, want exactly one empty tuple", outs)
+	}
+
+	// A program whose only terminals are errors has no clean outcome.
+	errProg := lang.MustParse(`
+var g;
+func main() { g = 1 / 0; }
+`)
+	errRes := Explore(errProg, Options{Reduction: Full})
+	if len(errRes.Errors) == 0 {
+		t.Fatal("division by zero produced no error terminal")
+	}
+	if outs := errRes.OutcomeSet(); len(outs) != 0 {
+		t.Fatalf("OutcomeSet() over error-only terminals = %v, want empty", outs)
+	}
+}
+
+// Unknown labels project to the zero value in every tuple, so all-unknown
+// projections collapse the terminal set to a single zero tuple instead of
+// panicking or dropping terminals.
+func TestOutcomeSetUnknownLabels(t *testing.T) {
+	res := Explore(workloads.Fig2(), Options{Reduction: Full})
+	outs := res.OutcomeSet("no_such_global", "also_missing")
+	if !reflect.DeepEqual(outs, [][]int64{{0, 0}}) {
+		t.Fatalf("OutcomeSet(unknown...) = %v, want [[0 0]]", outs)
+	}
+
+	// Mixed known/unknown: the known column keeps its real values, the
+	// unknown column is uniformly zero.
+	mixed := res.OutcomeSet("x", "no_such_global")
+	known := res.OutcomeSet("x")
+	if len(mixed) != len(known) {
+		t.Fatalf("mixed projection has %d tuples, known-only has %d", len(mixed), len(known))
+	}
+	for i, tup := range mixed {
+		if tup[0] != known[i][0] || tup[1] != 0 {
+			t.Errorf("mixed tuple %d = %v, want [%d 0]", i, tup, known[i][0])
+		}
+	}
+}
+
+// A MaxConfigs-truncated run must flag itself, and its partial terminal
+// artifacts must stay coherent: a subset of the full run's sets, never
+// phantom outcomes the full space does not contain.
+func TestTruncatedRunArtifacts(t *testing.T) {
+	prog := workloads.Philosophers(3)
+	full := Explore(prog, Options{Reduction: Full})
+	if full.Truncated {
+		t.Fatal("reference run unexpectedly truncated")
+	}
+	cut := Explore(prog, Options{Reduction: Full, MaxConfigs: 50})
+	if !cut.Truncated {
+		t.Fatal("MaxConfigs=50 run not flagged truncated")
+	}
+	if cut.States > 50 {
+		t.Errorf("truncated run has %d states, cap was 50", cut.States)
+	}
+
+	fullStores := map[string]bool{}
+	for _, k := range full.TerminalStoreSet() {
+		fullStores[k] = true
+	}
+	for _, k := range cut.TerminalStoreSet() {
+		if !fullStores[k] {
+			t.Errorf("truncated run invented terminal store %q", k)
+		}
+	}
+
+	fullOuts := map[string]bool{}
+	for _, o := range full.OutcomeSet("fork0", "meals0") {
+		fullOuts[outKey(o)] = true
+	}
+	for _, o := range cut.OutcomeSet("fork0", "meals0") {
+		if !fullOuts[outKey(o)] {
+			t.Errorf("truncated run invented outcome %v", o)
+		}
+	}
+}
+
+func outKey(o []int64) string {
+	b := make([]byte, 0, 16*len(o))
+	for _, v := range o {
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(v>>(56-8*i)))
+		}
+	}
+	return string(b)
+}

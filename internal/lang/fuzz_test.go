@@ -1,9 +1,15 @@
 package lang
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 // FuzzParse throws arbitrary text at the lexer+parser: they must never
-// panic, only return errors. Run with `go test -fuzz=FuzzParse ./internal/lang`.
+// panic, only return errors. Run with `go test -fuzz=FuzzParse ./internal/lang`
+// (CI runs a 30s smoke pass via `make fuzz-smoke`).
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"",
@@ -18,6 +24,10 @@ func FuzzParse(f *testing.F) {
 		"func main() { a: b: skip; }",
 		"func main() { while 1 { cobegin { skip; } || { return; } coend } }",
 	}
+	// The repository's program corpus (testdata/*.cb) and the cobegin
+	// sources embedded in examples/*/main.go seed the fuzzer with full
+	// realistic programs, not just the synthetic snippets above.
+	seeds = append(seeds, corpusSeeds(f)...)
 	for _, s := range seeds {
 		f.Add(s)
 	}
@@ -32,6 +42,40 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("round trip failed: %v\noriginal: %q\nformatted: %q", err, src, text)
 		}
 	})
+}
+
+// corpusSeeds collects the repository's .cb programs plus every backtick
+// string literal in the examples (their embedded cobegin sources). Files
+// that cannot be read are skipped: seeds are a quality boost, not a
+// correctness requirement.
+func corpusSeeds(f *testing.F) []string {
+	var seeds []string
+	if paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.cb")); err == nil {
+		for _, p := range paths {
+			if data, err := os.ReadFile(p); err == nil {
+				seeds = append(seeds, string(data))
+			}
+		}
+	}
+	if paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "*", "main.go")); err == nil {
+		for _, p := range paths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				continue
+			}
+			parts := strings.Split(string(data), "`")
+			// Odd-indexed segments lie between backticks.
+			for i := 1; i < len(parts); i += 2 {
+				if strings.Contains(parts[i], "func main") {
+					seeds = append(seeds, parts[i])
+				}
+			}
+		}
+	}
+	if len(seeds) == 0 {
+		f.Log("no corpus seeds found; falling back to the synthetic seed list only")
+	}
+	return seeds
 }
 
 // FuzzLexer checks the lexer alone on raw bytes.

@@ -83,6 +83,17 @@ const (
 	// sequential engine never recomputes, so it stays outside the
 	// deterministic counter set.
 	AbsStaleRecomputes
+	// PipelineFusedSinks counts sinks fed from a shared traversal by a
+	// pipeline.MultiSink (per fused run, one increment per sink beyond
+	// the traversal itself being paid once). Perf-only: it measures how
+	// much exploration the pipeline layer avoided, not explored-space
+	// structure.
+	PipelineFusedSinks
+	// AnalysisCacheHit / AnalysisCacheMiss count core.Analyzer lookups of
+	// its options-keyed collector and abstract-result caches. Perf-only:
+	// hits depend on call order, not on the explored space.
+	AnalysisCacheHit
+	AnalysisCacheMiss
 	numCounters
 )
 
@@ -106,6 +117,9 @@ var counterNames = [numCounters]string{
 	FrontierSteals:       "frontier_steals",
 	AbsSteals:            "abs_steals",
 	AbsStaleRecomputes:   "abs_stale_recomputes",
+	PipelineFusedSinks:   "pipeline_fused_sinks",
+	AnalysisCacheHit:     "analysis_cache_hit",
+	AnalysisCacheMiss:    "analysis_cache_miss",
 }
 
 // PerfOnly reports whether the counter measures implementation effort
@@ -114,7 +128,8 @@ var counterNames = [numCounters]string{
 // determinism tests compare all others.
 func (c Counter) PerfOnly() bool {
 	switch c {
-	case EncPoolHit, EncPoolMiss, FrontierSteals, AbsSteals, AbsStaleRecomputes:
+	case EncPoolHit, EncPoolMiss, FrontierSteals, AbsSteals, AbsStaleRecomputes,
+		PipelineFusedSinks, AnalysisCacheHit, AnalysisCacheMiss:
 		return true
 	}
 	return false
@@ -272,19 +287,28 @@ func (r *Registry) Phase(name string) func() {
 		return func() {}
 	}
 	start := time.Now()
-	return func() {
-		d := time.Since(start).Nanoseconds()
-		r.mu.Lock()
-		acc := r.phases[name]
-		if acc == nil {
-			acc = &phaseAcc{}
-			r.phases[name] = acc
-			r.phaseOrder = append(r.phaseOrder, name)
-		}
-		acc.nanos += d
-		acc.count++
-		r.mu.Unlock()
+	return func() { r.RecordPhase(name, time.Since(start).Nanoseconds(), 1) }
+}
+
+// RecordPhase adds pre-measured wall-clock to a named phase: nanos of
+// accumulated time over count occurrences. It is the batch form of Phase
+// for callers (e.g. the pipeline's MultiSink) that accumulate many short
+// brackets locally and flush once, instead of taking the registry lock
+// per bracket. Safe on nil.
+func (r *Registry) RecordPhase(name string, nanos, count int64) {
+	if r == nil {
+		return
 	}
+	r.mu.Lock()
+	acc := r.phases[name]
+	if acc == nil {
+		acc = &phaseAcc{}
+		r.phases[name] = acc
+		r.phaseOrder = append(r.phaseOrder, name)
+	}
+	acc.nanos += nanos
+	acc.count += count
+	r.mu.Unlock()
 }
 
 // --- Levels ---------------------------------------------------------------

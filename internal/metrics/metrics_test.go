@@ -240,7 +240,8 @@ func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
 // flagged perf-only and stripped from the map determinism comparisons
 // read, however large they get; deterministic counters must survive.
 func TestPerfOnlyCountersExcludedFromDeterminism(t *testing.T) {
-	perfOnly := []Counter{EncPoolHit, EncPoolMiss, FrontierSteals, AbsSteals, AbsStaleRecomputes}
+	perfOnly := []Counter{EncPoolHit, EncPoolMiss, FrontierSteals, AbsSteals, AbsStaleRecomputes,
+		PipelineFusedSinks, AnalysisCacheHit, AnalysisCacheMiss}
 	deterministic := []Counter{StatesUnique, StatesGenerated, DedupHits, TransitionsFired,
 		TerminalsSeen, ErrorsSeen, CoarsenedSteps, AbsVisits, AbsJoins, AbsWidenings, AbsStates}
 	for _, c := range perfOnly {
@@ -264,7 +265,10 @@ func TestPerfOnlyCountersExcludedFromDeterminism(t *testing.T) {
 	a.Add(FrontierSteals, 7)
 	a.Add(AbsSteals, 3)
 	a.Add(EncPoolMiss, 12)
+	a.Add(AnalysisCacheMiss, 2)
 	b.Add(AbsStaleRecomputes, 5)
+	b.Add(PipelineFusedSinks, 4)
+	b.Add(AnalysisCacheHit, 9)
 	got, want := a.Snapshot().DeterministicCounters(), b.Snapshot().DeterministicCounters()
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("deterministic counters differ despite identical deterministic traffic:\n  a %v\n  b %v", got, want)
@@ -276,5 +280,18 @@ func TestPerfOnlyCountersExcludedFromDeterminism(t *testing.T) {
 	}
 	if got[StatesUnique.String()] != 100 {
 		t.Errorf("deterministic counter states_unique = %d, want 100", got[StatesUnique.String()])
+	}
+
+	// The pipeline-layer counters must render under their documented
+	// snapshot keys (DESIGN.md §8), not counterN fallbacks.
+	names := map[Counter]string{
+		PipelineFusedSinks: "pipeline_fused_sinks",
+		AnalysisCacheHit:   "analysis_cache_hit",
+		AnalysisCacheMiss:  "analysis_cache_miss",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("counter name = %q, want %q", c.String(), want)
+		}
 	}
 }

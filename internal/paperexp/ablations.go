@@ -8,6 +8,7 @@ import (
 	"psa/internal/apps"
 	"psa/internal/explore"
 	"psa/internal/lang"
+	"psa/internal/pipeline"
 	"psa/internal/workloads"
 )
 
@@ -39,7 +40,7 @@ func main() {
 // abstraction. Small k folds distinct allocation contexts together,
 // collapsing the heap and losing value precision; larger k separates
 // them. The paper's §6 presents exactly this dial.
-func E13KLimit() *Table {
+func E13KLimit(ro pipeline.RunOptions) *Table {
 	t := &Table{
 		ID:      "E13",
 		Title:   "ablation: birthdate k-limit — abstract heap size and precision",
@@ -47,7 +48,9 @@ func E13KLimit() *Table {
 	}
 	prog := lang.MustParse(kLimitProgram)
 	for _, k := range []int{1, 2, 4} {
-		res := abssem.Analyze(prog, abssem.Options{Domain: absdom.ConstDomain{}, KBirth: k})
+		opts := abopts(ro, absdom.ConstDomain{})
+		opts.KBirth = k
+		res := abssem.Analyze(prog, opts)
 		v1, _ := res.GlobalInvariant("o1")
 		v2, _ := res.GlobalInvariant("o2")
 		// Distinguished = neither output covers the OTHER object's value.
@@ -62,7 +65,7 @@ func E13KLimit() *Table {
 // E14Canonicalization — DESIGN.md §5 ablation: heap-address renaming in
 // the configuration identity. Without it, configurations differing only
 // in allocation numbering stay distinct and the explored space inflates.
-func E14Canonicalization() *Table {
+func E14Canonicalization(ro pipeline.RunOptions) *Table {
 	t := &Table{
 		ID:      "E14",
 		Title:   "ablation: heap-address canonicalization in state identity",
@@ -87,8 +90,10 @@ func main() {
 `)},
 	}
 	for _, w := range progs {
-		canon := explore.Explore(w.p, explore.Options{Reduction: explore.Full, MaxConfigs: 1 << 20})
-		raw := explore.Explore(w.p, explore.Options{Reduction: explore.Full, NoCanonKeys: true, MaxConfigs: 1 << 20})
+		canon := explore.Explore(w.p, exopts(ro, explore.Full, false, 1<<20))
+		rawOpts := exopts(ro, explore.Full, false, 1<<20)
+		rawOpts.NoCanonKeys = true
+		raw := explore.Explore(w.p, rawOpts)
 		t.AddRow(w.name, canon.States, raw.States,
 			fmt.Sprintf("%.2fx", float64(raw.States)/float64(canon.States)))
 	}
@@ -101,22 +106,22 @@ func main() {
 // calls into cobegin arms), and verify by exhaustive exploration that the
 // transformed program reaches exactly the original outcome set — then
 // show that the naive split of a dependent pair is caught.
-func E15Restructure() *Table {
+func E15Restructure(ro pipeline.RunOptions) *Table {
 	t := &Table{
 		ID:      "E15",
 		Title:   "restructuring: apply the Fig. 8 schedule and verify equivalence",
 		Headers: []string{"transformation", "outcomes before", "outcomes after", "equivalent"},
 	}
 	prog := workloads.Fig8Calls()
-	cl := collectorFor(prog)
+	cl := collectorFor(prog, ro)
 	good := apps.Parallelize(cl, "s1", "s2", "s3", "s4")
 	if gp, err := apps.ApplySchedule(prog, good); err == nil {
-		eq := apps.VerifySchedule(prog, gp)
+		eq := apps.VerifyScheduleWith(prog, gp, ro)
 		t.AddRow(good.String(), len(eq.OriginalOutcomes), len(eq.TransformedOutcomes), eq.Equal)
 	}
 	bad := &apps.Schedule{Groups: [][]string{{"s1", "s2"}, {"s3", "s4"}}}
 	if bp, err := apps.ApplySchedule(prog, bad); err == nil {
-		eq := apps.VerifySchedule(prog, bp)
+		eq := apps.VerifyScheduleWith(prog, bp, ro)
 		t.AddRow(bad.String()+" (ignores deps)", len(eq.OriginalOutcomes), len(eq.TransformedOutcomes), eq.Equal)
 	}
 	t.Note("the dependence-respecting schedule preserves semantics; splitting (s1,s4) across arms does not")

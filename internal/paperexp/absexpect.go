@@ -8,6 +8,7 @@ import (
 	"psa/internal/abssem"
 	"psa/internal/lang"
 	"psa/internal/metrics"
+	"psa/internal/pipeline"
 	"psa/internal/sched"
 	"psa/internal/workloads"
 )
@@ -86,19 +87,27 @@ type AbsWorkloadRow struct {
 // recorded count diverges — including when the run truncated, which the
 // old engine reported as empty results that silently "matched" nothing.
 func VerifyAbstractWorkloads(workers int) []AbsWorkloadRow {
-	exps := AbsExpectations()
-	rows := make([]AbsWorkloadRow, 0, len(exps))
 	// One pool serves every workload run at this worker count (nil — and
 	// ignored by the engine — for sequential requests), so the sweep also
 	// exercises pool reuse across consecutive engine invocations.
 	pool := sched.ForWorkers(workers)
 	defer pool.Close()
+	return VerifyAbstractWorkloadsOpts(pipeline.RunOptions{Workers: workers, Pool: pool})
+}
+
+// VerifyAbstractWorkloadsOpts is VerifyAbstractWorkloads under a shared
+// run configuration: each expectation keeps its recorded domain and
+// k-limit settings while ro supplies the worker count and pool. The
+// caller owns ro.Pool.
+func VerifyAbstractWorkloadsOpts(ro pipeline.RunOptions) []AbsWorkloadRow {
+	exps := AbsExpectations()
+	rows := make([]AbsWorkloadRow, 0, len(exps))
 	for _, e := range exps {
 		m := metrics.New()
 		opts := e.opts
 		opts.Metrics = m
-		opts.Workers = workers
-		opts.Pool = pool
+		opts.Workers = ro.Workers
+		opts.Pool = ro.Pool
 		start := time.Now()
 		res := abssem.Analyze(e.prog(), opts)
 		dur := time.Since(start)
@@ -106,7 +115,7 @@ func VerifyAbstractWorkloads(workers int) []AbsWorkloadRow {
 		row := AbsWorkloadRow{
 			Workload:   e.Workload,
 			Domain:     e.Domain,
-			Workers:    workers,
+			Workers:    ro.Workers,
 			WantStates: e.States,
 			States:     res.States,
 			Visits:     res.Visits,

@@ -7,6 +7,7 @@ import (
 	"psa/internal/explore"
 	"psa/internal/lang"
 	"psa/internal/metrics"
+	"psa/internal/pipeline"
 	"psa/internal/workloads"
 )
 
@@ -97,21 +98,31 @@ type WorkloadRow struct {
 // recorded count diverges. Runs use the engine's default fingerprinted
 // visited set; the recorded counts were taken with exact keys, so a pass
 // doubles as a collision check over the whole corpus.
-func VerifyWorkloads() []WorkloadRow { return VerifyWorkloadsMode(false) }
+func VerifyWorkloads() []WorkloadRow { return VerifyWorkloadsOpts(pipeline.RunOptions{}) }
 
 // VerifyWorkloadsMode is VerifyWorkloads with an explicit key mode:
 // exactKeys true forces the full-key visited set (Options.ExactKeys).
 func VerifyWorkloadsMode(exactKeys bool) []WorkloadRow {
-	return verifyAgainst(Expectations(), exactKeys)
+	return VerifyWorkloadsOpts(pipeline.RunOptions{ExactKeys: exactKeys})
 }
 
-func verifyAgainst(exps []Expectation, exactKeys bool) []WorkloadRow {
+// VerifyWorkloadsOpts is VerifyWorkloads under caller-provided execution
+// settings: ExactKeys, Workers, and Pool are honored per run. The
+// strategy fields are ignored — each expectation records its own
+// reduction settings, which are what its counts were measured under.
+func VerifyWorkloadsOpts(ro pipeline.RunOptions) []WorkloadRow {
+	return verifyAgainst(Expectations(), ro)
+}
+
+func verifyAgainst(exps []Expectation, ro pipeline.RunOptions) []WorkloadRow {
 	rows := make([]WorkloadRow, 0, len(exps))
 	for _, e := range exps {
 		m := metrics.New()
 		opts := e.opts
 		opts.Metrics = m
-		opts.ExactKeys = exactKeys
+		opts.ExactKeys = ro.ExactKeys
+		opts.Workers = ro.Workers
+		opts.Pool = ro.Pool
 		start := time.Now()
 		res := explore.Explore(e.prog(), opts)
 		dur := time.Since(start)

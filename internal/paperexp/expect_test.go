@@ -1,6 +1,10 @@
 package paperexp
 
-import "testing"
+import (
+	"testing"
+
+	"psa/internal/pipeline"
+)
 
 // Every recorded expectation must hold on the current engine — this is
 // the same gate cmd/paperbench (and CI) enforces — in both the default
@@ -30,7 +34,7 @@ func TestExpectationDivergenceDetected(t *testing.T) {
 	e.States++ // corrupt the recorded count
 	bad := []Expectation{e}
 	// Inline re-run mirroring VerifyWorkloads on the corrupted record.
-	rows := verifyAgainst(bad, false)
+	rows := verifyAgainst(bad, pipeline.RunOptions{})
 	if len(rows) != 1 || rows[0].OK {
 		t.Fatalf("corrupted expectation not flagged: %+v", rows)
 	}

@@ -10,27 +10,52 @@ import (
 	"psa/internal/apps"
 	"psa/internal/explore"
 	"psa/internal/lang"
+	"psa/internal/pipeline"
 	"psa/internal/sem"
 	"psa/internal/workloads"
 )
 
-func collectorFor(prog *lang.Program) *analysis.Collector {
+// collectorFor runs one fully-instrumented exploration through the
+// pipeline layer under the threaded run configuration (always with full
+// reduction — the collector's analyses need the unreduced stream).
+func collectorFor(prog *lang.Program, ro pipeline.RunOptions) *analysis.Collector {
 	cl := analysis.NewCollector(prog)
-	explore.Explore(prog, explore.Options{Reduction: explore.Full, Sink: cl})
+	pipeline.Explore(prog, ro.Strategy(explore.Full, false),
+		pipeline.NamedSink{Name: "collector", Sink: cl})
 	return cl
+}
+
+// exopts derives concrete engine options for one experiment run: the
+// reduction settings are the experiment's own, the execution settings
+// (workers, pool, key mode, metrics) come from the threaded
+// configuration. A non-zero max overrides the configured cap.
+func exopts(ro pipeline.RunOptions, red explore.Reduction, coarsen bool, max int) explore.Options {
+	o := ro.Strategy(red, coarsen)
+	if max != 0 {
+		o.MaxConfigs = max
+	}
+	return o.ExploreOptions()
+}
+
+// abopts derives abstract engine options the same way; a nil domain
+// keeps the engine default.
+func abopts(ro pipeline.RunOptions, dom absdom.NumDomain) abssem.Options {
+	o := ro.AbstractOptions()
+	o.Domain = dom
+	return o
 }
 
 // E1Fig2Outcomes — Figure 2(a) / Example 1: the reachable (x,y) outcome
 // set of the Shasha–Snir two-segment program under sequential
 // consistency. Expected shape: exactly three legal outcomes; one of the
 // four combinations is impossible.
-func E1Fig2Outcomes() *Table {
+func E1Fig2Outcomes(ro pipeline.RunOptions) *Table {
 	t := &Table{
 		ID:      "E1",
 		Title:   "Fig. 2(a): legal (x,y) outcomes under sequential consistency",
 		Headers: []string{"x", "y", "reachable"},
 	}
-	res := explore.Explore(workloads.Fig2(), explore.Options{Reduction: explore.Full})
+	res := explore.Explore(workloads.Fig2(), exopts(ro, explore.Full, false, 0))
 	got := map[[2]int64]bool{}
 	for _, o := range res.OutcomeSet("x", "y") {
 		got[[2]int64{o[0], o[1]}] = true
@@ -50,14 +75,14 @@ func E1Fig2Outcomes() *Table {
 // so executing all four statements fully in parallel produces EXACTLY the
 // same outcome set — the parallelization is safe. For the original
 // ordering (a) the same transformation adds an outcome and is refused.
-func E2Fig2Reordered() *Table {
+func E2Fig2Reordered(ro pipeline.RunOptions) *Table {
 	t := &Table{
 		ID:      "E2",
 		Title:   "Fig. 2(b): when may the compiler parallelize all four statements?",
 		Headers: []string{"program", "reachable (x,y)", "parallelization safe"},
 	}
 	outcomes := func(p *lang.Program) ([]string, map[string]bool) {
-		res := explore.Explore(p, explore.Options{Reduction: explore.Full})
+		res := explore.Explore(p, exopts(ro, explore.Full, false, 0))
 		set := map[string]bool{}
 		var strs []string
 		for _, o := range res.OutcomeSet("x", "y") {
@@ -78,8 +103,8 @@ func E2Fig2Reordered() *Table {
 	// The same verdict derived a second way, from the Shasha–Snir
 	// critical-cycle analysis [SS88]: count the program arcs that must be
 	// enforced with delays.
-	planA := apps.MinimalDelays(collectorFor(workloads.Fig2()), [][]string{{"s1", "s2"}, {"s3", "s4"}})
-	planB := apps.MinimalDelays(collectorFor(workloads.Fig2Reordered()), [][]string{{"s2", "s1"}, {"s3", "s4"}})
+	planA := apps.MinimalDelays(collectorFor(workloads.Fig2(), ro), [][]string{{"s1", "s2"}, {"s3", "s4"}})
+	planB := apps.MinimalDelays(collectorFor(workloads.Fig2Reordered(), ro), [][]string{{"s2", "s1"}, {"s3", "s4"}})
 	t.Note("SS88 critical cycles: (a) needs %d delay(s); (b) needs %d — the outcome-set and delay analyses agree",
 		len(planA.Enforced), len(planB.Enforced))
 	return t
@@ -101,16 +126,16 @@ func equalSets(a, b map[string]bool) bool {
 // malloc program under full expansion vs. stubborn sets. The paper
 // reports the reduced graph has 13 configurations while producing the
 // same result-configurations.
-func E3Fig5Stubborn() *Table {
+func E3Fig5Stubborn(ro pipeline.RunOptions) *Table {
 	t := &Table{
 		ID:      "E3",
 		Title:   "Fig. 5: configuration space of the malloc example, full vs. stubborn",
 		Headers: []string{"strategy", "configs", "edges", "result-configs"},
 	}
 	prog := workloads.Fig5Malloc()
-	full := explore.Explore(prog, explore.Options{Reduction: explore.Full})
-	stub := explore.Explore(prog, explore.Options{Reduction: explore.Stubborn})
-	both := explore.Explore(prog, explore.Options{Reduction: explore.Stubborn, Coarsen: true})
+	full := explore.Explore(prog, exopts(ro, explore.Full, false, 0))
+	stub := explore.Explore(prog, exopts(ro, explore.Stubborn, false, 0))
+	both := explore.Explore(prog, exopts(ro, explore.Stubborn, true, 0))
 	t.AddRow("full", full.States, full.Edges, len(full.TerminalStoreSet()))
 	t.AddRow("stubborn", stub.States, stub.Edges, len(stub.TerminalStoreSet()))
 	t.AddRow("stubborn+coarsen", both.States, both.Edges, len(both.TerminalStoreSet()))
@@ -125,7 +150,7 @@ func E3Fig5Stubborn() *Table {
 // vs. stubborn(+coarsening) state counts as n grows. Expected shape: full
 // grows exponentially (roughly constant multiplicative factor per
 // philosopher), reduced grows polynomially (shrinking factor).
-func E4Philosophers(maxN int) *Table {
+func E4Philosophers(maxN int, ro pipeline.RunOptions) *Table {
 	t := &Table{
 		ID:      "E4",
 		Title:   "dining philosophers: state counts vs. n (Val88 claim: exponential → ~quadratic)",
@@ -134,8 +159,8 @@ func E4Philosophers(maxN int) *Table {
 	prevF, prevS := 0, 0
 	for n := 2; n <= maxN; n++ {
 		prog := workloads.Philosophers(n)
-		full := explore.Explore(prog, explore.Options{Reduction: explore.Full, MaxConfigs: 1 << 22})
-		red := explore.Explore(prog, explore.Options{Reduction: explore.Stubborn, Coarsen: true, MaxConfigs: 1 << 22})
+		full := explore.Explore(prog, exopts(ro, explore.Full, false, 1<<22))
+		red := explore.Explore(prog, exopts(ro, explore.Stubborn, true, 1<<22))
 		fg, sg := "-", "-"
 		if prevF > 0 {
 			fg = fmt.Sprintf("%.2fx", float64(full.States)/float64(prevF))
@@ -151,15 +176,15 @@ func E4Philosophers(maxN int) *Table {
 // E5Fig3Folding — Figure 3 / §6.1: configuration folding. Abstract
 // configurations (control points after Taylor folding) vs. concrete
 // configurations on the malloc example.
-func E5Fig3Folding() *Table {
+func E5Fig3Folding(ro pipeline.RunOptions) *Table {
 	t := &Table{
 		ID:      "E5",
 		Title:   "Fig. 3/§6.1: configuration folding — concrete vs. abstract configuration counts",
 		Headers: []string{"space", "configs"},
 	}
 	prog := workloads.Fig5Malloc()
-	conc := explore.Explore(prog, explore.Options{Reduction: explore.Full})
-	abs := abssem.Analyze(prog, abssem.Options{Domain: absdom.ConstDomain{}})
+	conc := explore.Explore(prog, exopts(ro, explore.Full, false, 0))
+	abs := abssem.Analyze(prog, abopts(ro, absdom.ConstDomain{}))
 	t.AddRow("concrete (full)", conc.States)
 	t.AddRow("abstract (Taylor-folded)", abs.States)
 	t.Note("the folding merges configurations that differ only in dangling detail (paper: three dangling links merge into one configuration)")
@@ -169,7 +194,7 @@ func E5Fig3Folding() *Table {
 // E6ClanFolding — §6.2: process folding. State counts with and without
 // clan folding as the number of identical arms grows. Expected shape:
 // without folding the count grows with n; with folding it is flat.
-func E6ClanFolding(maxN int) *Table {
+func E6ClanFolding(maxN int, ro pipeline.RunOptions) *Table {
 	t := &Table{
 		ID:      "E6",
 		Title:   "§6.2: clan folding — abstract states vs. number of identical arms",
@@ -177,8 +202,10 @@ func E6ClanFolding(maxN int) *Table {
 	}
 	for n := 2; n <= maxN; n++ {
 		prog := workloads.ClanWorkers(n)
-		plain := abssem.Analyze(prog, abssem.Options{Domain: absdom.ConstDomain{}})
-		clan := abssem.Analyze(prog, abssem.Options{Domain: absdom.ConstDomain{}, ClanFold: true})
+		plain := abssem.Analyze(prog, abopts(ro, absdom.ConstDomain{}))
+		clanOpts := abopts(ro, absdom.ConstDomain{})
+		clanOpts.ClanFold = true
+		clan := abssem.Analyze(prog, clanOpts)
 		t.AddRow(n, plain.States, clan.States)
 	}
 	t.Note("clan = McDowell's abstraction: tasks executing the same statements need not be distinguished or counted")
@@ -187,13 +214,13 @@ func E6ClanFolding(maxN int) *Table {
 
 // E7Fig8Parallelize — Figure 8 / Example 15: dependences between four
 // procedure calls and the resulting parallelization.
-func E7Fig8Parallelize() *Table {
+func E7Fig8Parallelize(ro pipeline.RunOptions) *Table {
 	t := &Table{
 		ID:      "E7",
 		Title:   "Fig. 8: dependences among procedure calls and parallel schedule",
 		Headers: []string{"quantity", "value"},
 	}
-	cl := collectorFor(workloads.Fig8Calls())
+	cl := collectorFor(workloads.Fig8Calls(), ro)
 	deps := cl.Dependences("s1", "s2", "s3", "s4")
 	var ds []string
 	for _, d := range deps {
@@ -209,13 +236,13 @@ func E7Fig8Parallelize() *Table {
 }
 
 // E8MemPlacement — §5.3/§7: memory-hierarchy placement of b1 and b2.
-func E8MemPlacement() *Table {
+func E8MemPlacement(ro pipeline.RunOptions) *Table {
 	t := &Table{
 		ID:      "E8",
 		Title:   "§7: memory placement — b1 shared level, b2 processor-local",
 		Headers: []string{"object", "verdict"},
 	}
-	cl := collectorFor(workloads.MemPlacement())
+	cl := collectorFor(workloads.MemPlacement(), ro)
 	rep := apps.Placements(cl, "b1", "b2")
 	for _, line := range strings.Split(strings.TrimSpace(rep.String()), "\n") {
 		parts := strings.SplitN(line, ": ", 2)
@@ -228,14 +255,14 @@ func E8MemPlacement() *Table {
 }
 
 // E9SideEffects — §5.1: side-effect summaries of the example callees.
-func E9SideEffects() *Table {
+func E9SideEffects(ro pipeline.RunOptions) *Table {
 	t := &Table{
 		ID:      "E9",
 		Title:   "§5.1: side-effect summaries",
 		Headers: []string{"function", "side effects"},
 	}
 	prog := workloads.SideEffects()
-	cl := collectorFor(prog)
+	cl := collectorFor(prog, ro)
 	for _, fname := range []string{"writeG", "readG", "pureLocal", "touchArg"} {
 		fn := prog.Func(fname)
 		ents := cl.SideEffects(fn)
@@ -254,7 +281,7 @@ func E9SideEffects() *Table {
 
 // E10Coarsening — Observation 5: virtual coarsening ablation on
 // mixed local/shared workloads.
-func E10Coarsening() *Table {
+func E10Coarsening(ro pipeline.RunOptions) *Table {
 	t := &Table{
 		ID:      "E10",
 		Title:   "Observation 5: virtual coarsening — state counts with and without",
@@ -267,8 +294,8 @@ func E10Coarsening() *Table {
 	}
 	for _, name := range []string{"workers(2,4)", "workers(3,3)", "philosophers3"} {
 		prog := cases[name]
-		plain := explore.Explore(prog, explore.Options{Reduction: explore.Full, MaxConfigs: 1 << 21})
-		coarse := explore.Explore(prog, explore.Options{Reduction: explore.Full, Coarsen: true, MaxConfigs: 1 << 21})
+		plain := explore.Explore(prog, exopts(ro, explore.Full, false, 1<<21))
+		coarse := explore.Explore(prog, exopts(ro, explore.Full, true, 1<<21))
 		eq := equalStrings(plain.TerminalStoreSet(), coarse.TerminalStoreSet())
 		t.AddRow(name, plain.States, coarse.States, eq)
 	}
@@ -278,14 +305,14 @@ func E10Coarsening() *Table {
 // E11OptSafety — the introduction's busy-wait example: the optimizer
 // oracle must refuse the transformations that break parallel programs and
 // allow them on the sequential analogue.
-func E11OptSafety() *Table {
+func E11OptSafety(ro pipeline.RunOptions) *Table {
 	t := &Table{
 		ID:      "E11",
 		Title:   "§1: optimization safety — busy-wait loop",
 		Headers: []string{"query", "verdict"},
 	}
 	prog := workloads.BusyWait()
-	oracle := apps.NewOracle(prog, abssem.Analyze(prog, abssem.Options{}))
+	oracle := apps.NewOracle(prog, abssem.Analyze(prog, abopts(ro, nil)))
 	t.AddRow("hoist load of flag out of c1", oracle.HoistLoad("c1", "flag").String())
 	t.AddRow("const-prop flag at c1", oracle.ConstProp("c1", "flag").String())
 
@@ -297,7 +324,7 @@ func main() {
   n = i;
 }
 `)
-	seqOracle := apps.NewOracle(seq, abssem.Analyze(seq, abssem.Options{}))
+	seqOracle := apps.NewOracle(seq, abssem.Analyze(seq, abopts(ro, nil)))
 	t.AddRow("sequential: hoist load of lim out of loop", seqOracle.HoistLoad("loop", "lim").String())
 	t.AddRow("sequential: const-prop lim at loop", seqOracle.ConstProp("loop", "lim").String())
 	t.Note("paper: moving the load of a concurrently-written flag out of the loop makes the busy-wait never succeed")
@@ -307,7 +334,7 @@ func main() {
 // E12Ablation — full reduction matrix: every combination of stubborn
 // sets, coarsening, and granularity on two workloads; all must agree on
 // the result-configuration set.
-func E12Ablation(small bool) *Table {
+func E12Ablation(small bool, ro pipeline.RunOptions) *Table {
 	t := &Table{
 		ID:      "E12",
 		Title:   "ablation: reduction × coarsening × granularity",
@@ -325,13 +352,13 @@ func E12Ablation(small bool) *Table {
 		{"workers(3,2)", workloads.IndependentWorkers(3, 2)},
 	}
 	for _, w := range progs {
-		base := explore.Explore(w.p, explore.Options{Reduction: explore.Full, MaxConfigs: 1 << 22})
+		base := explore.Explore(w.p, exopts(ro, explore.Full, false, 1<<22))
 		want := base.TerminalStoreSet()
 		for _, red := range []explore.Reduction{explore.Full, explore.Stubborn} {
 			for _, co := range []bool{false, true} {
 				res := base
 				if !(red == explore.Full && !co) {
-					res = explore.Explore(w.p, explore.Options{Reduction: red, Coarsen: co, MaxConfigs: 1 << 22})
+					res = explore.Explore(w.p, exopts(ro, red, co, 1<<22))
 				}
 				t.AddRow(w.name, red.String(), co, "ref", res.States, res.Edges,
 					equalStrings(res.TerminalStoreSet(), want))
@@ -339,7 +366,9 @@ func E12Ablation(small bool) *Table {
 		}
 		// Statement granularity (coarser model; outcome set may legally
 		// shrink, so "results equal" is reported but not required).
-		gs := explore.Explore(w.p, explore.Options{Reduction: explore.Full, Granularity: sem.GranStmt, MaxConfigs: 1 << 22})
+		gsOpts := exopts(ro, explore.Full, false, 1<<22)
+		gsOpts.Granularity = sem.GranStmt
+		gs := explore.Explore(w.p, gsOpts)
 		t.AddRow(w.name, "full", false, "stmt", gs.States, gs.Edges, equalStrings(gs.TerminalStoreSet(), want))
 	}
 	return t

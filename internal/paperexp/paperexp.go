@@ -9,6 +9,8 @@ package paperexp
 import (
 	"fmt"
 	"strings"
+
+	"psa/internal/pipeline"
 )
 
 // Table is one reproduced figure/table.
@@ -75,10 +77,13 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Experiment is a runnable experiment from the registry.
+// Experiment is a runnable experiment from the registry. Run takes the
+// shared run configuration (worker count, pool, key mode, metrics) the
+// caller threads through every engine invocation; every recorded number
+// is identical at any worker count by the engines' determinism contract.
 type Experiment struct {
 	ID  string
-	Run func() *Table
+	Run func(ro pipeline.RunOptions) *Table
 }
 
 // Registry lists every experiment at the given scale (small=true keeps
@@ -93,26 +98,27 @@ func Registry(small bool) []Experiment {
 		{"E1", E1Fig2Outcomes},
 		{"E2", E2Fig2Reordered},
 		{"E3", E3Fig5Stubborn},
-		{"E4", func() *Table { return E4Philosophers(philoN) }},
+		{"E4", func(ro pipeline.RunOptions) *Table { return E4Philosophers(philoN, ro) }},
 		{"E5", E5Fig3Folding},
-		{"E6", func() *Table { return E6ClanFolding(clanN) }},
+		{"E6", func(ro pipeline.RunOptions) *Table { return E6ClanFolding(clanN, ro) }},
 		{"E7", E7Fig8Parallelize},
 		{"E8", E8MemPlacement},
 		{"E9", E9SideEffects},
 		{"E10", E10Coarsening},
 		{"E11", E11OptSafety},
-		{"E12", func() *Table { return E12Ablation(small) }},
+		{"E12", func(ro pipeline.RunOptions) *Table { return E12Ablation(small, ro) }},
 		{"E13", E13KLimit},
 		{"E14", E14Canonicalization},
 		{"E15", E15Restructure},
 	}
 }
 
-// All runs every experiment at the given scale.
-func All(small bool) []*Table {
+// All runs every experiment at the given scale under the shared run
+// configuration.
+func All(small bool, ro pipeline.RunOptions) []*Table {
 	var out []*Table
 	for _, e := range Registry(small) {
-		out = append(out, e.Run())
+		out = append(out, e.Run(ro))
 	}
 	return out
 }

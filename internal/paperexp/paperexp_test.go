@@ -4,10 +4,12 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"psa/internal/pipeline"
 )
 
 func TestE1ShapeMatchesPaper(t *testing.T) {
-	tab := E1Fig2Outcomes()
+	tab := E1Fig2Outcomes(pipeline.RunOptions{})
 	reachable := 0
 	var unreachable []string
 	for _, row := range tab.Rows {
@@ -26,7 +28,7 @@ func TestE1ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestE2AllParallelizable(t *testing.T) {
-	tab := E2Fig2Reordered()
+	tab := E2Fig2Reordered(pipeline.RunOptions{})
 	verdicts := map[string]string{}
 	for _, row := range tab.Rows {
 		verdicts[row[0]] = row[2]
@@ -40,7 +42,7 @@ func TestE2AllParallelizable(t *testing.T) {
 }
 
 func TestE3StubbornReducesAndPreserves(t *testing.T) {
-	tab := E3Fig5Stubborn()
+	tab := E3Fig5Stubborn(pipeline.RunOptions{})
 	var full, stub int
 	var results []string
 	for _, row := range tab.Rows {
@@ -65,7 +67,7 @@ func TestE3StubbornReducesAndPreserves(t *testing.T) {
 }
 
 func TestE4GrowthShape(t *testing.T) {
-	tab := E4Philosophers(4)
+	tab := E4Philosophers(4, pipeline.RunOptions{})
 	// Last row: reduced growth must be below full growth.
 	last := tab.Rows[len(tab.Rows)-1]
 	fg := parseGrowth(t, last[2])
@@ -81,7 +83,7 @@ func TestE4GrowthShape(t *testing.T) {
 }
 
 func TestE5FoldingReduces(t *testing.T) {
-	tab := E5Fig3Folding()
+	tab := E5Fig3Folding(pipeline.RunOptions{})
 	conc := atoi(t, tab.Rows[0][1])
 	abs := atoi(t, tab.Rows[1][1])
 	if abs >= conc {
@@ -90,7 +92,7 @@ func TestE5FoldingReduces(t *testing.T) {
 }
 
 func TestE6ClanFlat(t *testing.T) {
-	tab := E6ClanFolding(5)
+	tab := E6ClanFolding(5, pipeline.RunOptions{})
 	first := atoi(t, tab.Rows[0][2])
 	for _, row := range tab.Rows {
 		if got := atoi(t, row[2]); got != first {
@@ -105,7 +107,7 @@ func TestE6ClanFlat(t *testing.T) {
 }
 
 func TestE7DependencePairs(t *testing.T) {
-	tab := E7Fig8Parallelize()
+	tab := E7Fig8Parallelize(pipeline.RunOptions{})
 	var deps, sched string
 	for _, row := range tab.Rows {
 		if row[0] == "dependences" {
@@ -124,7 +126,7 @@ func TestE7DependencePairs(t *testing.T) {
 }
 
 func TestE8Placement(t *testing.T) {
-	tab := E8MemPlacement()
+	tab := E8MemPlacement(pipeline.RunOptions{})
 	var b1, b2 string
 	for _, row := range tab.Rows {
 		if row[0] == "b1" {
@@ -143,7 +145,7 @@ func TestE8Placement(t *testing.T) {
 }
 
 func TestE9PureFunction(t *testing.T) {
-	tab := E9SideEffects()
+	tab := E9SideEffects(pipeline.RunOptions{})
 	for _, row := range tab.Rows {
 		if row[0] == "pureLocal" && row[1] != "(pure)" {
 			t.Errorf("pureLocal effects = %q, want pure", row[1])
@@ -155,7 +157,7 @@ func TestE9PureFunction(t *testing.T) {
 }
 
 func TestE10CoarseningPreserves(t *testing.T) {
-	tab := E10Coarsening()
+	tab := E10Coarsening(pipeline.RunOptions{})
 	for _, row := range tab.Rows {
 		if row[3] != "true" {
 			t.Errorf("%s: coarsening changed results", row[0])
@@ -167,7 +169,7 @@ func TestE10CoarseningPreserves(t *testing.T) {
 }
 
 func TestE11OracleShape(t *testing.T) {
-	tab := E11OptSafety()
+	tab := E11OptSafety(pipeline.RunOptions{})
 	for _, row := range tab.Rows {
 		q, v := row[0], row[1]
 		if strings.HasPrefix(q, "hoist load of flag") && !strings.HasPrefix(v, "UNSAFE") {
@@ -183,7 +185,7 @@ func TestE11OracleShape(t *testing.T) {
 }
 
 func TestE12AllReductionsAgree(t *testing.T) {
-	tab := E12Ablation(true)
+	tab := E12Ablation(true, pipeline.RunOptions{})
 	for _, row := range tab.Rows {
 		if row[3] == "ref" && row[6] != "true" {
 			t.Errorf("%s %s coarsen=%s: results differ from full", row[0], row[1], row[2])
@@ -207,7 +209,7 @@ func TestAllSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full harness in -short mode")
 	}
-	tables := All(true)
+	tables := All(true, pipeline.RunOptions{})
 	if len(tables) != 15 {
 		t.Fatalf("%d tables, want 12", len(tables))
 	}
@@ -240,7 +242,7 @@ func parseGrowth(t *testing.T, s string) float64 {
 }
 
 func TestE13KLimitPrecision(t *testing.T) {
-	tab := E13KLimit()
+	tab := E13KLimit(pipeline.RunOptions{})
 	byK := map[string]string{}
 	for _, row := range tab.Rows {
 		byK[row[0]] = row[4]
@@ -254,7 +256,7 @@ func TestE13KLimitPrecision(t *testing.T) {
 }
 
 func TestE14CanonReduces(t *testing.T) {
-	tab := E14Canonicalization()
+	tab := E14Canonicalization(pipeline.RunOptions{})
 	for _, row := range tab.Rows {
 		canon := atoi(t, row[1])
 		raw := atoi(t, row[2])
@@ -275,7 +277,7 @@ func TestE14CanonReduces(t *testing.T) {
 }
 
 func TestE15Restructure(t *testing.T) {
-	tab := E15Restructure()
+	tab := E15Restructure(pipeline.RunOptions{})
 	if len(tab.Rows) != 2 {
 		t.Fatalf("want 2 rows:\n%s", tab)
 	}
