@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build test test-short vet lint bench benchcmp paperbench examples clean \
-	fmt fmt-check race bench-smoke fuzz-smoke vulncheck ci
+	fmt fmt-check race bench-smoke fuzz-smoke soak-smoke soak vulncheck ci
 
 all: build vet test
 
@@ -85,6 +85,23 @@ fuzz-smoke:
 	$(GO) test ./internal/lang -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lang -run '^$$' -fuzz '^FuzzLexer$$' -fuzztime $(FUZZTIME)
 
+# Fixed-seed differential soak smoke — the CI soak-smoke job: 200
+# generated programs through all four oracles (concrete-vs-abstract
+# soundness, reduced-vs-full equivalence, parallel-vs-sequential
+# bit-identity, fingerprint-vs-exact-keys). Any divergence exits
+# nonzero and leaves a shrunk reproducer in soak-corpus/.
+SOAK_SEED ?= 1
+SOAK_N ?= 200
+soak-smoke:
+	$(GO) run ./cmd/psasoak -seed $(SOAK_SEED) -n $(SOAK_N) -max-configs 4096 -corpus soak-corpus
+
+# Open-ended local soak: bigger programs, deeper exploration, time-boxed.
+# Raise SOAK_BUDGET for a long background run (e.g. make soak SOAK_BUDGET=2h).
+SOAK_BUDGET ?= 10m
+soak:
+	$(GO) run ./cmd/psasoak -seed $(SOAK_SEED) -n 100000 -profile big -max-configs 32768 \
+		-budget $(SOAK_BUDGET) -corpus soak-corpus -json soak-report.json
+
 # Known-vulnerability scan over the module and its (stdlib-only)
 # dependency graph. govulncheck is optional locally, like staticcheck:
 # the target degrades with a notice so `make ci` works offline; the CI
@@ -98,4 +115,4 @@ vulncheck:
 	fi
 
 # Everything .github/workflows/ci.yml runs, locally.
-ci: fmt-check build lint vulncheck test race bench-smoke fuzz-smoke
+ci: fmt-check build lint vulncheck test race bench-smoke fuzz-smoke soak-smoke

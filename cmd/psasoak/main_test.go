@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"psa/internal/lang"
+)
+
+// buildCmd compiles one of this module's commands into dir and returns
+// the binary path.
+func buildCmd(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = "../.." // module root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+type soakReport struct {
+	BaseSeed int64  `json:"base_seed"`
+	Profile  string `json:"profile"`
+	Ran      int    `json:"ran"`
+	Skipped  int    `json:"skipped_truncated"`
+	Oracles  map[string]struct {
+		Checked     int `json:"checked"`
+		Divergences int `json:"divergences"`
+	} `json:"oracles"`
+	Divergences []struct {
+		Seed       int64  `json:"seed"`
+		Oracle     string `json:"oracle"`
+		Detail     string `json:"detail"`
+		Reproducer string `json:"reproducer"`
+		Shrunk     string `json:"reproducer_src"`
+	} `json:"divergences"`
+}
+
+func TestSoakCleanRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "./cmd/psasoak")
+	out, err := exec.Command(bin,
+		"-seed", "1", "-n", "12", "-max-configs", "8192", "-json", "-").CombinedOutput()
+	if err != nil {
+		t.Fatalf("clean soak run failed: %v\n%s", err, out)
+	}
+	var rep soakReport
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("bad JSON report: %v\n%s", err, out)
+	}
+	if rep.Ran != 12 {
+		t.Errorf("ran = %d, want 12", rep.Ran)
+	}
+	for _, name := range []string{"soundness", "reduction", "parallel", "fingerprint"} {
+		o, ok := rep.Oracles[name]
+		if !ok {
+			t.Fatalf("oracle %q missing from report", name)
+		}
+		if o.Checked == 0 {
+			t.Errorf("oracle %q checked no programs", name)
+		}
+		if o.Divergences != 0 {
+			t.Errorf("oracle %q reports %d divergences on a clean run", name, o.Divergences)
+		}
+	}
+}
+
+// TestSoakInjectedUnsoundnessCaught is the harness self-test the issue
+// demands: a deliberately corrupted soundness oracle must be caught,
+// shrunk to a parseable reproducer, written to the corpus dir, and turn
+// the exit status nonzero.
+func TestSoakInjectedUnsoundnessCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "./cmd/psasoak")
+	corpus := filepath.Join(dir, "corpus")
+	cmd := exec.Command(bin,
+		"-seed", "1", "-n", "12", "-max-configs", "8192",
+		"-inject-unsound", "-corpus", corpus, "-json", "-")
+	out, err := cmd.Output()
+	if err == nil {
+		t.Fatalf("injected unsoundness not caught (exit 0)\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit code 1, got %v\n%s", err, out)
+	}
+	var rep soakReport
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("bad JSON report: %v\n%s", err, out)
+	}
+	if rep.Oracles["soundness"].Divergences == 0 {
+		t.Fatal("soundness oracle reports no divergences despite injection")
+	}
+	if len(rep.Divergences) == 0 {
+		t.Fatal("no divergence details in report")
+	}
+	for _, d := range rep.Divergences {
+		if d.Oracle != "soundness" {
+			t.Errorf("injection must only trip the soundness oracle, got %q", d.Oracle)
+		}
+		if d.Shrunk == "" {
+			t.Error("divergence has no shrunk reproducer")
+			continue
+		}
+		if _, err := lang.Parse(d.Shrunk); err != nil {
+			t.Errorf("shrunk reproducer does not parse: %v\n%s", err, d.Shrunk)
+		}
+		if d.Reproducer == "" {
+			t.Error("no reproducer path despite -corpus")
+			continue
+		}
+		data, err := os.ReadFile(d.Reproducer)
+		if err != nil {
+			t.Errorf("reproducer file: %v", err)
+		} else if string(data) != d.Shrunk {
+			t.Error("reproducer file does not match reported source")
+		}
+	}
+}
+
+func TestSoakUnknownProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "./cmd/psasoak")
+	out, err := exec.Command(bin, "-profile", "nope", "-n", "1").CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown profile accepted\n%s", out)
+	}
+	if !strings.Contains(string(out), "unknown profile") {
+		t.Errorf("error should name the bad profile, got: %s", out)
+	}
+}
+
+// TestSoakDeterministicReport pins seed-reproducibility of the whole
+// harness: two runs with the same seed produce identical reports.
+func TestSoakDeterministicReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "./cmd/psasoak")
+	norm := func(b []byte) string {
+		var rep map[string]any
+		if err := json.Unmarshal(b, &rep); err != nil {
+			t.Fatalf("bad JSON: %v\n%s", err, b)
+		}
+		delete(rep, "duration_sec")
+		out, _ := json.Marshal(rep)
+		return string(out)
+	}
+	a, err := exec.Command(bin, "-seed", "7", "-n", "6", "-max-configs", "8192", "-json", "-").Output()
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	b, err := exec.Command(bin, "-seed", "7", "-n", "6", "-max-configs", "8192", "-json", "-").Output()
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if norm(a) != norm(b) {
+		t.Fatalf("same seed, different reports:\n--- a\n%s\n--- b\n%s", a, b)
+	}
+}

@@ -8,9 +8,9 @@
 // memory-hierarchy placement, and optimization-safety checks.
 //
 // The implementation lives under internal/ (see DESIGN.md for the system
-// inventory); cmd/psa, cmd/explore and cmd/paperbench are the command-line
-// tools; bench_test.go regenerates every figure and table of the paper's
-// evaluation (see EXPERIMENTS.md).
+// inventory); cmd/psa, cmd/explore, cmd/paperbench and cmd/psasoak are
+// the command-line tools; bench_test.go regenerates every figure and
+// table of the paper's evaluation (see EXPERIMENTS.md).
 //
 // Both engines are deterministically parallel on one shared runtime,
 // internal/sched: a persistent worker pool (explore/abssem
@@ -30,8 +30,14 @@
 // cmd/paperbench embeds the same counters in its machine-readable
 // report and exits non-zero if any workload diverges from the recorded
 // paper expectations. CI (.github/workflows/ci.yml, mirrored by `make
-// ci`) gates every change on the full suite, the race detector, and a
-// bench smoke run.
+// ci`) gates every change on the full suite, the race detector, a bench
+// smoke run, and a fixed-seed differential soak: cmd/psasoak feeds
+// internal/progen's randomly generated programs through four
+// cross-checking oracles (abstract covers concrete, reduced equals
+// full, parallel equals sequential, fingerprints equal exact keys) and
+// shrinks any divergence to a minimal reproducer; an open-ended
+// nightly soak (.github/workflows/soak.yml) does the same on fresh
+// seeds (DESIGN.md §10).
 package psa
 
 // Version identifies the reproduction release.

@@ -189,6 +189,21 @@ func (s *Store) Leq(o *Store) bool {
 // Eq reports pointwise equality.
 func (s *Store) Eq(o *Store) bool { return s.Leq(o) && o.Leq(s) }
 
+// HeapTargets returns the abstract objects with a summary in the store,
+// sorted deterministically. Coverage checks use it to relate concrete
+// heap objects to their summaries.
+func (s *Store) HeapTargets() []Target {
+	out := make([]Target, 0, len(s.heap))
+	for k := range s.heap {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// NumGlobals returns the number of globals the store tracks.
+func (s *Store) NumGlobals() int { return len(s.globals) }
+
 // String renders the store deterministically.
 func (s *Store) String() string {
 	var parts []string

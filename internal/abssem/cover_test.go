@@ -1,0 +1,159 @@
+package abssem
+
+import (
+	"strings"
+	"testing"
+
+	"psa/internal/absdom"
+	"psa/internal/explore"
+	"psa/internal/lang"
+)
+
+// coverPrograms exercise the predicate across the language surface:
+// racing writes, heap allocation under concurrency, pointer globals,
+// recursion, and error terminals.
+var coverPrograms = []struct {
+	name string
+	src  string
+}{
+	{"race", `
+var g;
+func main() {
+  cobegin { g = 1; } || { g = 2; } coend
+}
+`},
+	{"heap", `
+var out;
+func main() {
+  var p = malloc(1);
+  *p = 7;
+  cobegin { *p = 8; } || { out = *p; } coend
+}
+`},
+	{"ptr-global", `
+var g = 3;
+var pg;
+func main() {
+  pg = &g;
+  cobegin { *pg = 4; } || { g = 5; } coend
+}
+`},
+	{"recursion", `
+var acc;
+func f(n) {
+  if n > 0 {
+    var t = f(n - 1);
+    acc = acc + t;
+    return t + 1;
+  }
+  return 0;
+}
+func main() {
+  cobegin { f(2); } || { acc = 1; } coend
+}
+`},
+	{"error", `
+var g;
+func main() {
+  cobegin { g = 1; } || { assert g == 0; } coend
+}
+`},
+	{"free", `
+var g;
+func main() {
+  var p = malloc(1);
+  *p = 1;
+  cobegin { free(p); } || { g = *p; } coend
+}
+`},
+}
+
+// TestCoversTerminals is the soundness oracle in miniature: every
+// concrete terminal (normal or error) of full exploration must be
+// covered by the abstract result.
+func TestCoversTerminals(t *testing.T) {
+	for _, tc := range coverPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := lang.MustParse(tc.src)
+			conc := explore.Explore(prog, explore.Options{})
+			if conc.Truncated {
+				t.Fatal("concrete exploration truncated")
+			}
+			for _, opts := range []Options{
+				{},
+				{ClanFold: true},
+				{Domain: absdom.IntervalDomain{}},
+				{KBirth: 1},
+				{RecLimit: 1},
+			} {
+				abs := Analyze(prog, opts)
+				if abs.Truncated {
+					t.Fatal("abstract run truncated")
+				}
+				for _, term := range conc.Terminals {
+					if err := abs.Covers(term, opts); err != nil {
+						t.Errorf("opts %+v: terminal not covered: %v", opts, err)
+					}
+				}
+				for _, ec := range conc.Errors {
+					if err := abs.Covers(ec, opts); err != nil {
+						t.Errorf("opts %+v: error terminal not covered: %v", opts, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStoreCoversRejectsCorruption feeds the predicate the deliberately
+// wrong invariant the soak harness uses for its self-test: a store
+// claiming every global still holds its initializer. Any program whose
+// racing arms move a global must be flagged.
+func TestStoreCoversRejectsCorruption(t *testing.T) {
+	prog := lang.MustParse(`
+var g;
+func main() {
+  cobegin { g = 1; } || { g = 2; } coend
+}
+`)
+	conc := explore.Explore(prog, explore.Options{})
+	inits := []int64{0}
+	corrupted := absdom.NewStore(absdom.ConstDomain{}, inits)
+	caught := false
+	for _, term := range conc.Terminals {
+		if err := StoreCovers(corrupted, term, Options{}); err != nil {
+			caught = true
+			if !strings.Contains(err.Error(), "global g") {
+				t.Errorf("violation should name the global: %v", err)
+			}
+		}
+	}
+	if !caught {
+		t.Fatal("corrupted store (globals = initializers) not flagged on any terminal")
+	}
+}
+
+// TestCoversReportsMissingMayError pins the error-terminal direction.
+func TestCoversReportsMissingMayError(t *testing.T) {
+	prog := lang.MustParse(`
+var g;
+func main() {
+  g = 1;
+  assert g == 0;
+}
+`)
+	conc := explore.Explore(prog, explore.Options{})
+	if len(conc.Errors) == 0 {
+		t.Fatal("program should reach an error terminal")
+	}
+	abs := Analyze(prog, Options{})
+	if !abs.MayError {
+		t.Fatal("abstract engine should predict the failing assert")
+	}
+	// Forge a result without the error prediction: Covers must reject.
+	forged := *abs
+	forged.MayError = false
+	if err := forged.Covers(conc.Errors[0], Options{}); err == nil {
+		t.Fatal("error terminal accepted despite MayError = false")
+	}
+}

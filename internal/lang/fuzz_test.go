@@ -44,13 +44,21 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
-// corpusSeeds collects the repository's .cb programs plus every backtick
-// string literal in the examples (their embedded cobegin sources). Files
-// that cannot be read are skipped: seeds are a quality boost, not a
-// correctness requirement.
+// corpusSeeds collects the repository's .cb programs (the hand-written
+// testdata corpus and the generator-derived soak corpus under
+// testdata/soak) plus every backtick string literal in the examples
+// (their embedded cobegin sources). Files that cannot be read are
+// skipped: seeds are a quality boost, not a correctness requirement.
 func corpusSeeds(f *testing.F) []string {
 	var seeds []string
-	if paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.cb")); err == nil {
+	for _, pattern := range []string{
+		filepath.Join("..", "..", "testdata", "*.cb"),
+		filepath.Join("..", "..", "testdata", "soak", "*.cb"),
+	} {
+		paths, err := filepath.Glob(pattern)
+		if err != nil {
+			continue
+		}
 		for _, p := range paths {
 			if data, err := os.ReadFile(p); err == nil {
 				seeds = append(seeds, string(data))

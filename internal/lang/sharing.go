@@ -32,6 +32,36 @@ type Sharing struct {
 // context does not (with respect to that cobegin).
 type armCtx string
 
+// maxCtxDepth bounds the arm-context depth the pass distinguishes. A
+// recursive procedure whose body contains a cobegin would otherwise grow
+// contexts forever (each activation appends its arm segment, so the
+// fn@ctx memoization never hits). Past the bound, contexts saturate to
+// topCtx, which conservatively conflicts with every context including
+// itself — over-approximating sharing, the safe direction for coarsening
+// and stubborn sets.
+const maxCtxDepth = 16
+
+// maxSharingVisits bounds the total number of (function, context) walks.
+// Distinct contexts multiply along nested cobegin arms and call chains,
+// so deeply parallel recursive programs can have exponentially many even
+// under maxCtxDepth. Past the budget every further walk saturates to
+// topCtx, which memoizes once per function, so the pass finishes
+// promptly with a conservative answer.
+const maxSharingVisits = 4096
+
+// topCtx is the saturated context: concurrent with everything.
+const topCtx armCtx = "⊤"
+
+func ctxDepth(c armCtx) int {
+	n := 0
+	for i := 0; i < len(c); i++ {
+		if c[i] == '/' {
+			n++
+		}
+	}
+	return n
+}
+
 type accessKind int
 
 const (
@@ -53,6 +83,7 @@ type sharingPass struct {
 	accesses  map[int][]globalAccess // global index -> accesses
 	heapAcc   []globalAccess
 	visited   map[string]bool // fn.Name + "@" + ctx
+	accSeen   map[string]bool // dedupe of (global, ctx, kind) access records
 	indirect  bool            // program contains calls through expressions
 	funcRefs  []*FuncDecl     // functions whose names are used as values
 	cobegin   bool
@@ -65,6 +96,7 @@ func AnalyzeSharing(p *Program) *Sharing {
 		prog:     p,
 		accesses: make(map[int][]globalAccess),
 		visited:  make(map[string]bool),
+		accSeen:  make(map[string]bool),
 	}
 	// Pre-scan for functions used as values (possible indirect callees) and
 	// for indirect call sites.
@@ -142,6 +174,9 @@ func crossThreadConflict(accs []globalAccess) bool {
 }
 
 func concurrentCtx(a, b armCtx) bool {
+	if a == topCtx || b == topCtx {
+		return true
+	}
 	if a == b {
 		return false
 	}
@@ -157,6 +192,9 @@ func concurrentCtx(a, b armCtx) bool {
 }
 
 func (sp *sharingPass) walkFunc(f *FuncDecl, ctx armCtx) {
+	if len(sp.visited) >= maxSharingVisits {
+		ctx = topCtx
+	}
 	key := f.Name + "@" + string(ctx)
 	if sp.visited[key] {
 		return
@@ -172,10 +210,20 @@ func (sp *sharingPass) walkBlock(b *Block, ctx armCtx, fn string) {
 }
 
 func (sp *sharingPass) record(gi int, ctx armCtx, kind accessKind, fn string) {
+	key := itoa(gi) + "|" + string(ctx) + "|" + itoa(int(kind))
+	if sp.accSeen[key] {
+		return
+	}
+	sp.accSeen[key] = true
 	sp.accesses[gi] = append(sp.accesses[gi], globalAccess{ctx: ctx, kind: kind, fnSet: fn})
 }
 
 func (sp *sharingPass) recordHeap(ctx armCtx, kind accessKind, fn string) {
+	key := "heap|" + string(ctx) + "|" + itoa(int(kind))
+	if sp.accSeen[key] {
+		return
+	}
+	sp.accSeen[key] = true
 	sp.heapAcc = append(sp.heapAcc, globalAccess{ctx: ctx, kind: kind, fnSet: fn})
 }
 
@@ -200,6 +248,9 @@ func (sp *sharingPass) walkStmt(s Stmt, ctx armCtx, fn string) {
 		sp.cobegin = true
 		for i, arm := range s.Arms {
 			armID := armCtx(string(ctx) + "/" + itoa(int(s.NodeID())) + "." + itoa(i))
+			if ctx == topCtx || ctxDepth(ctx) >= maxCtxDepth {
+				armID = topCtx
+			}
 			sp.walkBlock(arm, armID, fn)
 		}
 	case *IfStmt:

@@ -183,6 +183,31 @@ func main() {
 	}
 }
 
+func TestSharingRecursiveCobeginTerminates(t *testing.T) {
+	// A recursive procedure containing a cobegin used to hang the pass:
+	// every activation appended its arm segment to the context, so the
+	// fn@ctx memoization never hit. Contexts now saturate past
+	// maxCtxDepth; the saturated context conflicts with everything, the
+	// safe over-approximation. (Found by the progen random-program
+	// generator.)
+	p := MustParse(`
+var g;
+func f(n) {
+  if n > 0 {
+    cobegin { f(n - 1); } || { g = n; } coend
+  }
+  return 0;
+}
+func main() {
+  f(3);
+}
+`)
+	sh := AnalyzeSharing(p)
+	if !sh.GlobalShared[p.Global("g").Index] {
+		t.Error("g written from concurrent recursive arms should be shared")
+	}
+}
+
 func TestConcurrentCtx(t *testing.T) {
 	cases := []struct {
 		a, b string
@@ -194,6 +219,9 @@ func TestConcurrentCtx(t *testing.T) {
 		{"/1.0/2.0", "/1.1", true},  // nested arm vs sibling
 		{"/1.0", "/1.0/2.1", false}, // lineage
 		{"/1.0/2.0", "/1.0/2.1", true},
+		{string(topCtx), string(topCtx), true}, // saturated: conflicts with itself
+		{string(topCtx), "/1.0", true},
+		{string(topCtx), "", true},
 	}
 	for _, c := range cases {
 		if got := concurrentCtx(armCtx(c.a), armCtx(c.b)); got != c.want {

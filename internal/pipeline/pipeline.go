@@ -251,3 +251,17 @@ type NamedSink struct {
 	Name string
 	Sink explore.Sink
 }
+
+// Analyze runs the abstract engine on prog under the shared options —
+// the abstract-side counterpart of Explore, so differential clients (the
+// soak harness in particular) configure both engines from one RunOptions
+// value. Engine-specific knobs (domain, k-limits, clan folding) can be
+// set on the derived options via the extra parameter; nil keeps the
+// defaults.
+func Analyze(prog *lang.Program, ro RunOptions, adjust func(*abssem.Options)) *abssem.Result {
+	ao := ro.AbstractOptions()
+	if adjust != nil {
+		adjust(&ao)
+	}
+	return abssem.Analyze(prog, ao)
+}

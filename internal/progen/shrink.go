@@ -1,0 +1,227 @@
+// Delta-debugging shrinker: minimize a failing program while preserving
+// its failure.
+package progen
+
+import (
+	"psa/internal/lang"
+)
+
+// DefaultShrinkBudget bounds the number of candidate programs one Shrink
+// call may evaluate. Each candidate costs one predicate evaluation, which
+// for soak divergences means re-running analyses — the budget keeps a
+// pathological shrink from eating the soak run's time box.
+const DefaultShrinkBudget = 4000
+
+// Shrink minimizes src while fail keeps reporting the failure. It
+// repeatedly applies the first structural simplification (drop a
+// function, a global, a statement, a cobegin arm; unwrap a cobegin, an
+// if, or a loop; replace an expression by a literal) that yields a valid
+// program on which fail still returns true, until no simplification
+// helps or the candidate budget (DefaultShrinkBudget when budget <= 0)
+// is exhausted.
+//
+// Shrink is deterministic: the same (src, fail) pair always returns the
+// same minimized source. fail must itself be deterministic, or the
+// result is whatever the flaky predicate admitted.
+//
+// src must parse; it is returned unchanged otherwise. The result always
+// parses and always still satisfies fail.
+func Shrink(src string, fail func(*lang.Program) bool, budget int) string {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return src
+	}
+	// Normalize through the printer so candidate comparison and the
+	// final result are in canonical form.
+	cur := lang.Format(prog)
+	attempts := 0
+	for {
+		improved := false
+		for k := 0; ; k++ {
+			cand, ok := applyEdit(cur, k)
+			if !ok {
+				break // edit list exhausted for this iteration
+			}
+			if cand == "" || cand == cur {
+				continue // edit was inapplicable
+			}
+			p, err := lang.Parse(cand)
+			if err != nil {
+				continue // edit broke a reference; skip
+			}
+			attempts++
+			if attempts > budget {
+				return cur
+			}
+			if fail(p) {
+				cur = cand
+				improved = true
+				break // restart the edit enumeration on the smaller program
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// applyEdit parses cur, applies the k-th edit of its deterministic edit
+// enumeration, and returns the re-rendered source. ok=false means k is
+// past the end of the edit list; an empty string means the edit was a
+// no-op. Candidates may fail to re-resolve (e.g. a deleted declaration
+// still referenced); the caller filters them by re-parsing.
+func applyEdit(cur string, k int) (string, bool) {
+	prog, err := lang.Parse(cur)
+	if err != nil {
+		return "", false
+	}
+	edits := collectEdits(prog)
+	if k >= len(edits) {
+		return "", false
+	}
+	edits[k]()
+	return lang.Format(prog), true
+}
+
+// collectEdits enumerates the structural simplifications of prog, coarse
+// to fine, in deterministic program order. Each closure mutates the
+// freshly parsed AST in place; the caller renders and discards it.
+func collectEdits(prog *lang.Program) []func() {
+	var edits []func()
+
+	// 1. Drop a whole function (main must stay).
+	for i := range prog.Funcs {
+		if prog.Funcs[i].Name == "main" {
+			continue
+		}
+		i := i
+		edits = append(edits, func() {
+			prog.Funcs = append(prog.Funcs[:i:i], prog.Funcs[i+1:]...)
+		})
+	}
+	// 2. Drop a global.
+	for i := range prog.Globals {
+		i := i
+		edits = append(edits, func() {
+			prog.Globals = append(prog.Globals[:i:i], prog.Globals[i+1:]...)
+		})
+	}
+
+	// Statement-level edits, per block in traversal order.
+	forEachBlock(prog, func(b *lang.Block) {
+		for i := range b.Stmts {
+			i := i
+			b := b
+			// 3. Delete one statement.
+			edits = append(edits, func() {
+				b.Stmts = append(b.Stmts[:i:i], b.Stmts[i+1:]...)
+			})
+			switch s := b.Stmts[i].(type) {
+			case *lang.CobeginStmt:
+				// 4. Drop one arm (two must remain).
+				if len(s.Arms) > 2 {
+					for a := range s.Arms {
+						a := a
+						edits = append(edits, func() {
+							s.Arms = append(s.Arms[:a:a], s.Arms[a+1:]...)
+						})
+					}
+				}
+				// 5. Unparallelize: splice one arm's statements in place
+				// of the whole cobegin.
+				for a := range s.Arms {
+					a := a
+					edits = append(edits, func() {
+						spliceStmts(b, i, s.Arms[a].Stmts)
+					})
+				}
+			case *lang.IfStmt:
+				// 6. Unwrap a conditional into one of its branches.
+				edits = append(edits, func() { spliceStmts(b, i, s.Then.Stmts) })
+				if s.Else != nil {
+					edits = append(edits, func() { spliceStmts(b, i, s.Else.Stmts) })
+				}
+			case *lang.WhileStmt:
+				// 7. Unroll a loop to a single body execution.
+				edits = append(edits, func() { spliceStmts(b, i, s.Body.Stmts) })
+			}
+		}
+	})
+
+	// 8. Literalize expressions: any non-trivial initializer, assigned
+	// value, or condition becomes a small literal.
+	zero := &lang.IntLit{Value: 0}
+	forEachBlock(prog, func(b *lang.Block) {
+		for _, st := range b.Stmts {
+			switch s := st.(type) {
+			case *lang.VarStmt:
+				if !isIntLit(s.Init) {
+					s := s
+					edits = append(edits, func() { s.Init = zero })
+				}
+			case *lang.AssignStmt:
+				if !isIntLit(s.Value) {
+					s := s
+					edits = append(edits, func() { s.Value = zero })
+				}
+			case *lang.ReturnStmt:
+				if s.Value != nil && !isIntLit(s.Value) {
+					s := s
+					edits = append(edits, func() { s.Value = zero })
+				}
+			case *lang.AssertStmt:
+				if !isIntLit(s.Cond) {
+					s := s
+					edits = append(edits, func() { s.Cond = zero })
+				}
+			}
+		}
+	})
+
+	return edits
+}
+
+// spliceStmts replaces b.Stmts[i] with the given statements.
+func spliceStmts(b *lang.Block, i int, repl []lang.Stmt) {
+	out := make([]lang.Stmt, 0, len(b.Stmts)-1+len(repl))
+	out = append(out, b.Stmts[:i]...)
+	out = append(out, repl...)
+	out = append(out, b.Stmts[i+1:]...)
+	b.Stmts = out
+}
+
+func isIntLit(e lang.Expr) bool {
+	_, ok := e.(*lang.IntLit)
+	return ok
+}
+
+// forEachBlock visits every block of the program in source order:
+// function bodies, then nested arm/branch/loop blocks depth-first.
+func forEachBlock(prog *lang.Program, fn func(*lang.Block)) {
+	var walk func(b *lang.Block)
+	walk = func(b *lang.Block) {
+		if b == nil {
+			return
+		}
+		fn(b)
+		for _, s := range b.Stmts {
+			switch s := s.(type) {
+			case *lang.CobeginStmt:
+				for _, arm := range s.Arms {
+					walk(arm)
+				}
+			case *lang.IfStmt:
+				walk(s.Then)
+				walk(s.Else)
+			case *lang.WhileStmt:
+				walk(s.Body)
+			}
+		}
+	}
+	for _, f := range prog.Funcs {
+		walk(f.Body)
+	}
+}

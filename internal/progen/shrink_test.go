@@ -1,0 +1,119 @@
+package progen
+
+import (
+	"strings"
+	"testing"
+
+	"psa/internal/explore"
+	"psa/internal/lang"
+)
+
+// plantedFailure is a noisy program whose only real content is a failing
+// assert; everything else is droppable.
+const plantedFailure = `
+var g = 1;
+var noise;
+func helper(a1) {
+  noise = a1 + 2;
+  return noise;
+}
+func main() {
+  var x = helper(3);
+  noise = x * 2;
+  cobegin {
+    g = g + 1;
+  } || {
+    noise = noise - 1;
+  } coend
+  if g > 0 {
+    skip;
+  }
+  assert 0;
+  g = 5;
+}
+`
+
+// reachesError is the soak soundness-style predicate: the program has an
+// error terminal under full exploration.
+func reachesError(p *lang.Program) bool {
+	res := explore.Explore(p, explore.Options{MaxConfigs: 1 << 14})
+	return !res.Truncated && len(res.Errors) > 0
+}
+
+func TestShrinkPlantedFailure(t *testing.T) {
+	got := Shrink(plantedFailure, reachesError, 0)
+	want := "func main() {\n  assert 0;\n}\n"
+	if got != want {
+		t.Fatalf("shrink did not reach the minimal form:\n--- got\n%s--- want\n%s", got, want)
+	}
+	// Deterministic: a second run returns the identical result.
+	if again := Shrink(plantedFailure, reachesError, 0); again != got {
+		t.Fatalf("shrink is not deterministic:\n--- first\n%s--- second\n%s", got, again)
+	}
+}
+
+func TestShrinkPreservesFailure(t *testing.T) {
+	got := Shrink(plantedFailure, reachesError, 0)
+	p, err := lang.Parse(got)
+	if err != nil {
+		t.Fatalf("shrunk program does not parse: %v\n%s", err, got)
+	}
+	if !reachesError(p) {
+		t.Fatalf("shrunk program no longer fails:\n%s", got)
+	}
+}
+
+func TestShrinkBudget(t *testing.T) {
+	// With a budget of 1 the shrinker may accept at most one edit; the
+	// result must still parse and fail.
+	got := Shrink(plantedFailure, reachesError, 1)
+	p, err := lang.Parse(got)
+	if err != nil {
+		t.Fatalf("budget-limited shrink broke the program: %v\n%s", err, got)
+	}
+	if !reachesError(p) {
+		t.Fatalf("budget-limited shrink no longer fails:\n%s", got)
+	}
+	if len(got) >= len(plantedFailure) {
+		t.Log("budget 1 made no progress (acceptable, but unexpected)")
+	}
+}
+
+func TestShrinkInvalidSource(t *testing.T) {
+	src := "this does not parse"
+	if got := Shrink(src, func(*lang.Program) bool { return true }, 0); got != src {
+		t.Fatalf("invalid source must be returned unchanged, got %q", got)
+	}
+}
+
+// Shrinking a generated failing program must converge to something small:
+// the divergence-to-reproducer path of the soak harness.
+func TestShrinkGeneratedProgram(t *testing.T) {
+	// Find a generated program with an error terminal (failed assert or
+	// dangling deref) and shrink it against that predicate.
+	for seed := int64(0); seed < 300; seed++ {
+		prog, src, err := Generate(seed, DefaultProfile())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reachesError(prog) {
+			continue
+		}
+		got := Shrink(src, reachesError, 0)
+		if len(got) > len(src) {
+			t.Fatalf("seed %d: shrink grew the program", seed)
+		}
+		p, err := lang.Parse(got)
+		if err != nil {
+			t.Fatalf("seed %d: shrunk program does not parse: %v\n%s", seed, err, got)
+		}
+		if !reachesError(p) {
+			t.Fatalf("seed %d: shrunk program no longer fails:\n%s", seed, got)
+		}
+		if strings.Count(got, "\n") > strings.Count(src, "\n") {
+			t.Fatalf("seed %d: shrunk program has more lines than input", seed)
+		}
+		return
+	}
+	t.Fatal("no generated program with an error terminal in 300 seeds")
+}
