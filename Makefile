@@ -37,7 +37,7 @@ bench:
 # against BASE (default origin/main) and print the benchstat delta.
 # Requires benchstat (go install golang.org/x/perf/cmd/benchstat@latest).
 BASE ?= origin/main
-BENCH_PAT ?= BenchmarkPhilosophers|BenchmarkEncode|BenchmarkParallelExploration|BenchmarkAbstract|BenchmarkSchedRounds
+BENCH_PAT ?= BenchmarkPhilosophers|BenchmarkEncode|BenchmarkParallelExploration|BenchmarkAbstract|BenchmarkSchedRounds|BenchmarkSchedDep
 benchcmp:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -count=6 . > /tmp/bench-head.txt
 	@tmp=$$(mktemp -d); \
@@ -75,6 +75,7 @@ race:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 	$(GO) run ./cmd/paperbench -small -json paperbench.json
+	$(GO) run ./cmd/paperbench -small -workers 4 -sched dep
 
 # Short native-fuzzing pass over the parser targets — enough to catch
 # regressions in the grammar's panic-freedom and round-trip property

@@ -9,6 +9,7 @@ package psa
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"psa/internal/absdom"
 	"psa/internal/abssem"
@@ -280,19 +281,29 @@ func BenchmarkAbstractInterpret(b *testing.B) {
 
 // BenchmarkAbstractParallel measures the parallel abstract fixpoint
 // engine against the sequential worklist on the heaviest abstract
-// reference workload (workers-n1 dispatches to the classic sequential
-// loop, so it IS the pre-PR baseline; 2 and 4 run the round-structured
-// parallel engine). Results are bit-identical at every worker count, so
+// reference workload, under both schedulers (workers-n1 dispatches to
+// the classic sequential loop, so it IS the pre-PR baseline; higher
+// counts run the leveled round-structured engine, and the dep-nN
+// variants run the dependency-driven pipeline — at one worker a genuine
+// two-goroutine pipeline, not a sequential alias). Results are
+// bit-identical at every worker count under either scheduler, so
 // benchstat comparisons isolate pure scheduling cost/benefit.
 func BenchmarkAbstractParallel(b *testing.B) {
 	prog := workloads.Philosophers(5)
-	for _, workers := range []int{1, 2, 4} {
-		b.Run(benchName("workers", workers), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				res := abssem.Analyze(prog, abssem.Options{Domain: absdom.IntervalDomain{}, Workers: workers})
-				b.ReportMetric(float64(res.States), "states")
-			}
-		})
+	for _, sc := range []sched.Scheduler{sched.Leveled, sched.DepDriven} {
+		prefix := "workers"
+		if sc == sched.DepDriven {
+			prefix = "dep"
+		}
+		for _, workers := range []int{1, 2, 4, 8, 16} {
+			b.Run(benchName(prefix, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := abssem.Analyze(prog, abssem.Options{
+						Domain: absdom.IntervalDomain{}, Workers: workers, Sched: sc})
+					b.ReportMetric(float64(res.States), "states")
+				}
+			})
+		}
 	}
 }
 
@@ -310,7 +321,7 @@ func BenchmarkStubbornSelection(b *testing.B) {
 }
 
 func benchName(prefix string, n int) string {
-	return prefix + "-n" + string(rune('0'+n))
+	return fmt.Sprintf("%s-n%d", prefix, n)
 }
 
 func BenchmarkKLimit(b *testing.B) { // E13
@@ -433,13 +444,89 @@ func BenchmarkSchedRounds(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelExploration sweeps the concrete explorer over both
+// parallel schedulers and worker counts (workers-nN is the leveled
+// fan-out/serial-merge engine, with n1 the sequential baseline; dep-nN
+// is the dependency-driven pipeline).
 func BenchmarkParallelExploration(b *testing.B) {
 	prog := workloads.Philosophers(5)
-	for _, workers := range []int{1, 2, 4} {
-		b.Run(benchName("workers", workers), func(b *testing.B) {
+	for _, sc := range []sched.Scheduler{sched.Leveled, sched.DepDriven} {
+		prefix := "workers"
+		if sc == sched.DepDriven {
+			prefix = "dep"
+		}
+		for _, workers := range []int{1, 2, 4, 8, 16} {
+			b.Run(benchName(prefix, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := explore.Explore(prog, explore.Options{
+						Reduction: explore.Full, Workers: workers, Sched: sc, MaxConfigs: 1 << 22})
+					b.ReportMetric(float64(res.States), "states")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSchedDep prices the level barrier the dependency-driven
+// executor removes, in isolation from the engines. The workload is a
+// fixed task graph of width independent chains of depth links; one link
+// per level is a straggler (a sleep, so the overlap is visible even on
+// a single-CPU runner) and the rest are free. Straggler positions
+// descend across levels, so each level's straggler is published — and
+// starts sleeping — before the merge chain stalls on the previous
+// level's: the dependency-driven executor overlaps all of them and
+// pays roughly one straggler total, while the leveled executor's
+// barrier pays one per level.
+func BenchmarkSchedDep(b *testing.B) {
+	const (
+		width    = 16
+		depth    = 4
+		straggle = 4 * time.Millisecond
+	)
+	type task struct{ chain, level int }
+	delay := func(t task) time.Duration {
+		if t.chain == (width-1-3*t.level)%width {
+			return straggle
+		}
+		return 0
+	}
+	for _, workers := range []int{4, 8} {
+		b.Run(fmt.Sprintf("leveled-w%d", workers), func(b *testing.B) {
+			pool := sched.ForWorkers(workers)
+			defer pool.Close()
+			rounds := sched.NewRounds[struct{}](pool, sched.Hooks{})
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res := explore.Explore(prog, explore.Options{Reduction: explore.Full, Workers: workers, MaxConfigs: 1 << 22})
-				b.ReportMetric(float64(res.States), "states")
+				level := make([]task, width)
+				for c := range level {
+					level[c] = task{chain: c}
+				}
+				for l := 0; l < depth; l++ {
+					rounds.Do(width,
+						func(j int, _ *struct{}) { time.Sleep(delay(level[j])) },
+						func(j int, _ *struct{}) bool { level[j].level++; return true })
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("dep-w%d", workers), func(b *testing.B) {
+			pool := sched.ForWorkers(workers)
+			defer pool.Close()
+			dep := sched.NewDepRounds[task, struct{}](pool, sched.DepHooks{})
+			seeds := make([]task, width)
+			for c := range seeds {
+				seeds[c] = task{chain: c}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dep.Run(seeds,
+					func(j int, p *task, _ *struct{}) { time.Sleep(delay(*p)) },
+					nil,
+					func(j int, p *task, _ *struct{}, emit func(task)) bool {
+						if p.level+1 < depth {
+							emit(task{chain: p.chain, level: p.level + 1})
+						}
+						return true
+					})
 			}
 		})
 	}

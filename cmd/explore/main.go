@@ -45,6 +45,7 @@ func main() {
 		gran       = flag.String("granularity", "ref", "transition granularity: ref (paper model) or stmt")
 		max        = flag.Int("max", 1<<20, "configuration cap")
 		workers    = flag.Int("workers", 1, "explorer goroutines (level-synchronized BFS; >1 enables parallel exploration)")
+		schedMode  = flag.String("sched", "leveled", "parallel scheduler: leveled (barrier per BFS level) or dep (dependency-driven pipeline); results are identical in either mode")
 		exactKeys  = flag.Bool("exact-keys", false, "store full canonical keys in the visited set instead of 128-bit fingerprints (more memory, zero collision risk)")
 		outcomes   = flag.String("outcomes", "", "comma-separated globals: print the terminal outcome set")
 		terminals  = flag.Bool("terminals", false, "print every terminal configuration")
@@ -98,6 +99,12 @@ func main() {
 		}()
 	}
 
+	schedSel, okSched := sched.ParseScheduler(*schedMode)
+	if !okSched {
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q (leveled|dep)\n", *schedMode)
+		os.Exit(2)
+	}
+
 	// One worker pool serves every exploration of the invocation (nil —
 	// and ignored by the engine — for sequential worker counts).
 	pool := sched.ForWorkers(*workers)
@@ -140,6 +147,7 @@ func main() {
 	// One run configuration spans every exploration of the invocation.
 	a.Configure(core.RunOptions{
 		Workers:    *workers,
+		Sched:      schedSel,
 		Pool:       pool,
 		MaxConfigs: *max,
 		ExactKeys:  *exactKeys,

@@ -21,7 +21,12 @@
 // explorer; joins, widening decisions, and worklist order in the
 // abstract interpreter — so every result and every deterministic
 // metric is bit-identical at any worker count (differential tests pin
-// this under the race detector).
+// this under the race detector). Two scheduling protocols share that
+// contract: leveled fan-out/serial-merge rounds (the default), and a
+// dependency-driven pipeline (Options.Sched = sched.DepDriven, CLI
+// flag -sched dep) that merges each task as soon as its predecessors
+// in sequential discovery order have merged — no level barrier, same
+// bit-identical results.
 //
 // The engines are instrumented through internal/metrics, a nil-safe
 // registry of atomic counters, per-level statistics, and phase timings

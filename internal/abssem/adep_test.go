@@ -1,0 +1,98 @@
+package abssem
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"psa/internal/absdom"
+	"psa/internal/lang"
+	"psa/internal/metrics"
+	"psa/internal/sched"
+	"psa/internal/workloads"
+)
+
+// The dependency-driven abstract fixpoint must reproduce the sequential
+// engine's Result bit-for-bit — including the deterministic metrics
+// counters — at 1, 4, 8, and GOMAXPROCS workers. Workers=1 is not a
+// short-circuit here: DepDriven with one worker runs a genuine
+// two-goroutine pipeline (merger + one expander), so the snapshot
+// handoff and stale-recompute paths are exercised under -race at every
+// worker count.
+func TestDepMatchesSequentialAbstract(t *testing.T) {
+	domains := map[string]absdom.NumDomain{
+		"const":    absdom.ConstDomain{},
+		"interval": absdom.IntervalDomain{},
+		"sign":     absdom.SignDomain{},
+	}
+	progs := map[string]*lang.Program{
+		"fig2":     workloads.Fig2(),
+		"fig8":     workloads.Fig8Calls(),
+		"philo3":   workloads.Philosophers(3),
+		"workers":  workloads.IndependentWorkers(3, 3),
+		"prodcons": workloads.ProducerConsumer(2),
+		"busywait": workloads.BusyWait(),
+	}
+	for dname, dom := range domains {
+		for pname, prog := range progs {
+			t.Run(dname+"/"+pname, func(t *testing.T) {
+				mseq := metrics.New()
+				seq := Analyze(prog, Options{Domain: dom, CollectFootprints: true, Metrics: mseq})
+				for _, workers := range []int{1, 4, 8, -1} {
+					mpar := metrics.New()
+					par := Analyze(prog, Options{Domain: dom, CollectFootprints: true,
+						Metrics: mpar, Workers: workers, Sched: sched.DepDriven})
+					sameResult(t, seq, par)
+					got := mpar.Snapshot().DeterministicCounters()
+					want := mseq.Snapshot().DeterministicCounters()
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("workers=%d: deterministic counters differ:\n  dep        %v\n  sequential %v",
+							workers, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Random programs stress the copy-on-write join and stale-snapshot
+// interleavings: a published snapshot must survive being expanded by a
+// worker while the merge joins into (a copy of) the same state.
+func TestDepRandomAbstract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("random corpus in -short mode")
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		prog := workloads.RandomRich(seed)
+		seq := Analyze(prog, Options{Domain: absdom.IntervalDomain{}, CollectFootprints: true})
+		par := Analyze(prog, Options{Domain: absdom.IntervalDomain{}, CollectFootprints: true,
+			Workers: 4, Sched: sched.DepDriven})
+		if t.Failed() {
+			return
+		}
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) { sameResult(t, seq, par) })
+	}
+}
+
+// Truncated runs must match exactly: the dependency-driven engine's
+// MaxStates cut lands on the same discovery (tasks merge in sequential
+// order, and emits past the cut are never expanded into the state
+// table), and the explored prefix — invariants, terminals, footprints —
+// is bit-identical.
+func TestDepTruncationMatchesAbstract(t *testing.T) {
+	prog := workloads.Philosophers(3)
+	for _, max := range []int{5, 17, 60} {
+		opts := Options{Domain: absdom.ConstDomain{}, CollectFootprints: true, MaxStates: max}
+		seq := Analyze(prog, opts)
+		if !seq.Truncated {
+			t.Fatalf("MaxStates=%d did not truncate", max)
+		}
+		for _, workers := range []int{1, 4} {
+			popts := opts
+			popts.Workers = workers
+			popts.Sched = sched.DepDriven
+			par := Analyze(prog, popts)
+			sameResult(t, seq, par)
+		}
+	}
+}

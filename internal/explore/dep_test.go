@@ -1,0 +1,175 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"psa/internal/metrics"
+	"psa/internal/sched"
+	"psa/internal/sem"
+	"psa/internal/workloads"
+)
+
+// The dependency-driven explorer must reproduce the sequential
+// explorer's numbers exactly — states, edges, terminal sets, graph
+// shape, deterministic counters, and (unlike the leveled engine, which
+// only sees whole levels) the exact MaxFrontier — at 1, 4, 8, and
+// GOMAXPROCS workers. Workers=1 is a genuine two-goroutine pipeline
+// here, not a sequential short-circuit.
+func TestDepMatchesSequential(t *testing.T) {
+	progs := map[string]Options{
+		"fig2-full":          {Reduction: Full},
+		"fig5-stubborn":      {Reduction: Stubborn},
+		"philo3-full":        {Reduction: Full},
+		"philo4-reduced":     {Reduction: Stubborn, Coarsen: true},
+		"workers-coarsened":  {Reduction: Full, Coarsen: true},
+		"peterson-reduced":   {Reduction: Stubborn, Coarsen: true},
+		"crossedwait-graphs": {Reduction: Full, KeepGraph: true},
+	}
+	sources := map[string]func() *sem.Config{
+		"fig2-full":          func() *sem.Config { return sem.NewConfig(workloads.Fig2()) },
+		"fig5-stubborn":      func() *sem.Config { return sem.NewConfig(workloads.Fig5Malloc()) },
+		"philo3-full":        func() *sem.Config { return sem.NewConfig(workloads.Philosophers(3)) },
+		"philo4-reduced":     func() *sem.Config { return sem.NewConfig(workloads.Philosophers(4)) },
+		"workers-coarsened":  func() *sem.Config { return sem.NewConfig(workloads.IndependentWorkers(3, 3)) },
+		"peterson-reduced":   func() *sem.Config { return sem.NewConfig(workloads.Peterson()) },
+		"crossedwait-graphs": func() *sem.Config { return sem.NewConfig(workloads.CrossedWait()) },
+	}
+	for name, opts := range progs {
+		t.Run(name, func(t *testing.T) {
+			mseq := metrics.New()
+			sopts := opts
+			sopts.Metrics = mseq
+			seq := ExploreFrom(sources[name](), sopts)
+			for _, workers := range []int{1, 4, 8, -1} {
+				mdep := metrics.New()
+				dopts := opts
+				dopts.Workers = workers
+				dopts.Sched = sched.DepDriven
+				dopts.Metrics = mdep
+				dres := ExploreFrom(sources[name](), dopts)
+				if dres.States != seq.States || dres.Edges != seq.Edges {
+					t.Errorf("workers=%d: dep %d/%d != sequential %d/%d",
+						workers, dres.States, dres.Edges, seq.States, seq.Edges)
+				}
+				if dres.MaxFrontier != seq.MaxFrontier {
+					t.Errorf("workers=%d: maxFrontier: dep %d != sequential %d",
+						workers, dres.MaxFrontier, seq.MaxFrontier)
+				}
+				if !reflect.DeepEqual(dres.TerminalStoreSet(), seq.TerminalStoreSet()) {
+					t.Errorf("workers=%d: terminal sets differ", workers)
+				}
+				got := mdep.Snapshot().DeterministicCounters()
+				want := mseq.Snapshot().DeterministicCounters()
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("workers=%d: deterministic counters differ:\n  dep        %v\n  sequential %v",
+						workers, got, want)
+				}
+				if opts.KeepGraph {
+					if len(dres.Graph.Nodes) != dres.States {
+						t.Errorf("workers=%d: dep graph inconsistent", workers)
+					}
+					if got, want := len(dres.Graph.Divergent()), len(seq.Graph.Divergent()); got != want {
+						t.Errorf("workers=%d: divergent: dep %d != sequential %d", workers, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDepCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus in -short mode")
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		prog := workloads.Random(seed)
+		seq := Explore(prog, Options{Reduction: Full, MaxConfigs: 1 << 17})
+		if seq.Truncated {
+			continue
+		}
+		dres := Explore(prog, Options{Reduction: Full, MaxConfigs: 1 << 17, Workers: 3, Sched: sched.DepDriven})
+		if dres.States != seq.States || dres.Edges != seq.Edges || dres.MaxFrontier != seq.MaxFrontier {
+			t.Errorf("seed %d: dep %d/%d/%d != sequential %d/%d/%d", seed,
+				dres.States, dres.Edges, dres.MaxFrontier, seq.States, seq.Edges, seq.MaxFrontier)
+		}
+		if !reflect.DeepEqual(dres.TerminalStoreSet(), seq.TerminalStoreSet()) {
+			t.Errorf("seed %d: terminal sets differ", seed)
+		}
+	}
+}
+
+// The dependency-driven merge chain must replay the sequential sink
+// stream verbatim, not merely the same multiset (orderedSink is the
+// event-for-event recorder from metrics_test.go).
+func TestDepSinkStreamIsSequential(t *testing.T) {
+	mk := func() *sem.Config { return sem.NewConfig(workloads.Philosophers(3)) }
+	var want orderedSink
+	ExploreFrom(mk(), Options{Reduction: Full, Sink: &want})
+	for _, workers := range []int{1, 4} {
+		var got orderedSink
+		ExploreFrom(mk(), Options{Reduction: Full, Workers: workers, Sched: sched.DepDriven, Sink: &got})
+		if !reflect.DeepEqual(got.events, want.events) {
+			t.Errorf("workers=%d: dep sink stream diverges from sequential (%d vs %d events)",
+				workers, len(got.events), len(want.events))
+		}
+	}
+}
+
+// Truncated runs must equal the sequential truncated run exactly: the
+// cut falls on the same discovery, and the explored prefix — counts,
+// terminals, errors — matches. The own chain's over-insertions past the
+// cut must never leak into the Result.
+func TestDepTruncationMatchesSequential(t *testing.T) {
+	for _, max := range []int{50, 200, 1000} {
+		seq := Explore(workloads.Philosophers(4), Options{Reduction: Full, MaxConfigs: max})
+		if !seq.Truncated {
+			t.Fatalf("MaxConfigs=%d did not truncate", max)
+		}
+		for _, workers := range []int{1, 4} {
+			dres := Explore(workloads.Philosophers(4),
+				Options{Reduction: Full, MaxConfigs: max, Workers: workers, Sched: sched.DepDriven})
+			if !dres.Truncated {
+				t.Errorf("max=%d workers=%d: dep run not truncated", max, workers)
+			}
+			if dres.States != seq.States || dres.Edges != seq.Edges {
+				t.Errorf("max=%d workers=%d: dep %d/%d != sequential %d/%d",
+					max, workers, dres.States, dres.Edges, seq.States, seq.Edges)
+			}
+			if !reflect.DeepEqual(dres.TerminalStoreSet(), seq.TerminalStoreSet()) {
+				t.Errorf("max=%d workers=%d: truncated terminal sets differ", max, workers)
+			}
+		}
+	}
+}
+
+// A violation trace discovered by the dependency-driven engine must
+// replay step-for-step on the concrete semantics.
+func TestDepTraceReplay(t *testing.T) {
+	prog := workloads.PetersonBroken()
+	res := Explore(prog, Options{Reduction: Full, KeepGraph: true, Workers: 4, Sched: sched.DepDriven})
+	if len(res.Errors) == 0 {
+		t.Fatal("violation expected")
+	}
+	key := res.Errors[0].Encode()
+	trace, ok := res.Graph.TraceTo(key)
+	if !ok {
+		t.Fatal("no trace")
+	}
+	c := sem.NewConfig(prog)
+	for _, step := range trace {
+		idx := -1
+		for j, p := range c.Procs {
+			if p.Path == step.Proc {
+				idx = j
+			}
+		}
+		if idx < 0 {
+			t.Fatal("replay lost a process")
+		}
+		c = c.Step(idx).Config
+	}
+	if c.Encode() != key {
+		t.Error("dep-discovered trace does not replay to its state")
+	}
+}

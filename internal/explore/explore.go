@@ -86,6 +86,18 @@ type Options struct {
 	// Counts, result sets, discovery parents, frontier order, and the
 	// sink event stream are all identical to the sequential explorer's.
 	Workers int
+	// Sched selects the parallel execution strategy: sched.Leveled (the
+	// zero value) runs level-synchronized rounds with a barrier per BFS
+	// level (parallel.go); sched.DepDriven runs the dependency-driven
+	// pipeline (dep.go), which expands and merges across level
+	// boundaries with no barrier. Execution-only, like Workers and Pool:
+	// results, sink streams, and deterministic counters are identical
+	// under either scheduler, so the pipeline layer excludes it from
+	// cache keys. Ignored on sequential runs except that DepDriven with
+	// Workers == 1 runs the dependency-driven engine on a single worker
+	// (a genuine two-goroutine pipeline), where Leveled with Workers == 1
+	// stays sequential.
+	Sched sched.Scheduler
 	// Pool, when non-nil, is the shared scheduler pool (internal/sched)
 	// parallel exploration runs on: its worker count governs scheduling,
 	// the caller keeps ownership (the explorer never closes it), and
@@ -153,7 +165,10 @@ func ExploreFrom(c0 *sem.Config, opts Options) *Result {
 	if opts.MaxConfigs <= 0 {
 		opts.MaxConfigs = 1 << 20
 	}
-	if opts.Workers > 1 || opts.Workers < 0 {
+	if opts.Workers > 1 || opts.Workers < 0 || (opts.Sched == sched.DepDriven && opts.Workers == 1) {
+		if opts.Sched == sched.DepDriven {
+			return exploreDep(c0, opts)
+		}
 		return exploreParallel(c0, opts, opts.Workers)
 	}
 	m := opts.Metrics

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"psa/internal/lang"
+	"psa/internal/sched"
 	"psa/internal/workloads"
 )
 
@@ -59,38 +60,52 @@ func TestOutcomeSetUnknownLabels(t *testing.T) {
 
 // A MaxConfigs-truncated run must flag itself, and its partial terminal
 // artifacts must stay coherent: a subset of the full run's sets, never
-// phantom outcomes the full space does not contain.
+// phantom outcomes the full space does not contain. The same coherence
+// must hold under both parallel schedulers — in the dependency-driven
+// engine the own chain runs ahead of the merge and inserts identities
+// past the cut, so this pins that the over-insertion never surfaces as
+// Result artifacts.
 func TestTruncatedRunArtifacts(t *testing.T) {
 	prog := workloads.Philosophers(3)
 	full := Explore(prog, Options{Reduction: Full})
 	if full.Truncated {
 		t.Fatal("reference run unexpectedly truncated")
 	}
-	cut := Explore(prog, Options{Reduction: Full, MaxConfigs: 50})
-	if !cut.Truncated {
-		t.Fatal("MaxConfigs=50 run not flagged truncated")
-	}
-	if cut.States > 50 {
-		t.Errorf("truncated run has %d states, cap was 50", cut.States)
-	}
-
 	fullStores := map[string]bool{}
 	for _, k := range full.TerminalStoreSet() {
 		fullStores[k] = true
 	}
-	for _, k := range cut.TerminalStoreSet() {
-		if !fullStores[k] {
-			t.Errorf("truncated run invented terminal store %q", k)
-		}
-	}
-
 	fullOuts := map[string]bool{}
 	for _, o := range full.OutcomeSet("fork0", "meals0") {
 		fullOuts[outKey(o)] = true
 	}
-	for _, o := range cut.OutcomeSet("fork0", "meals0") {
-		if !fullOuts[outKey(o)] {
-			t.Errorf("truncated run invented outcome %v", o)
+
+	seqCut := Explore(prog, Options{Reduction: Full, MaxConfigs: 50})
+	cuts := map[string]*Result{
+		"sequential": seqCut,
+		"leveled":    Explore(prog, Options{Reduction: Full, MaxConfigs: 50, Workers: 4}),
+		"dep":        Explore(prog, Options{Reduction: Full, MaxConfigs: 50, Workers: 4, Sched: sched.DepDriven}),
+	}
+	for name, cut := range cuts {
+		if !cut.Truncated {
+			t.Fatalf("%s: MaxConfigs=50 run not flagged truncated", name)
+		}
+		if cut.States > 50 {
+			t.Errorf("%s: truncated run has %d states, cap was 50", name, cut.States)
+		}
+		if cut.States != seqCut.States || cut.Edges != seqCut.Edges {
+			t.Errorf("%s: truncated run %d/%d != sequential cut %d/%d",
+				name, cut.States, cut.Edges, seqCut.States, seqCut.Edges)
+		}
+		for _, k := range cut.TerminalStoreSet() {
+			if !fullStores[k] {
+				t.Errorf("%s: truncated run invented terminal store %q", name, k)
+			}
+		}
+		for _, o := range cut.OutcomeSet("fork0", "meals0") {
+			if !fullOuts[outKey(o)] {
+				t.Errorf("%s: truncated run invented outcome %v", name, o)
+			}
 		}
 	}
 }

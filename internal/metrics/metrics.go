@@ -94,6 +94,13 @@ const (
 	// hits depend on call order, not on the explored space.
 	AnalysisCacheHit
 	AnalysisCacheMiss
+	// DepMergeWaits counts the times the dependency-driven scheduler's
+	// merger blocked on the head task's expansion (the pipelined
+	// analogue of a level-barrier stall) during concrete exploration;
+	// AbsDepMergeWaits is the abstract engine's counterpart. Both depend
+	// on scheduling and are perf-only.
+	DepMergeWaits
+	AbsDepMergeWaits
 	numCounters
 )
 
@@ -120,6 +127,8 @@ var counterNames = [numCounters]string{
 	PipelineFusedSinks:   "pipeline_fused_sinks",
 	AnalysisCacheHit:     "analysis_cache_hit",
 	AnalysisCacheMiss:    "analysis_cache_miss",
+	DepMergeWaits:        "dep_merge_waits",
+	AbsDepMergeWaits:     "abs_dep_merge_waits",
 }
 
 // PerfOnly reports whether the counter measures implementation effort
@@ -129,7 +138,8 @@ var counterNames = [numCounters]string{
 func (c Counter) PerfOnly() bool {
 	switch c {
 	case EncPoolHit, EncPoolMiss, FrontierSteals, AbsSteals, AbsStaleRecomputes,
-		PipelineFusedSinks, AnalysisCacheHit, AnalysisCacheMiss:
+		PipelineFusedSinks, AnalysisCacheHit, AnalysisCacheMiss,
+		DepMergeWaits, AbsDepMergeWaits:
 		return true
 	}
 	return false
@@ -162,6 +172,12 @@ const (
 	// abstract fixpoint engine expanded in the current round; its peak
 	// over a run is the abstract analogue of MaxFrontier.
 	AbsFrontierWidth
+	// DepReadyDepth / AbsDepReadyDepth record the peak published-but-
+	// unclaimed backlog the dependency-driven scheduler's workers saw
+	// when claiming (concrete / abstract engine). Scheduling-dependent,
+	// like every gauge outside the determinism comparisons.
+	DepReadyDepth
+	AbsDepReadyDepth
 	numGauges
 )
 
@@ -172,6 +188,8 @@ var gaugeNames = [numGauges]string{
 	QueueLen:         "queue_len",
 	VisitedBytes:     "visited_bytes",
 	AbsFrontierWidth: "abs_frontier_width",
+	DepReadyDepth:    "dep_ready_depth",
+	AbsDepReadyDepth: "abs_dep_ready_depth",
 }
 
 // String returns the snake_case snapshot key of the gauge.
