@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build test test-short vet lint bench benchcmp paperbench examples clean \
-	fmt fmt-check race bench-smoke fuzz-smoke soak-smoke soak vulncheck ci
+	fmt fmt-check race bench-smoke fuzz-smoke soak-smoke soak psad-smoke vulncheck ci
 
 all: build vet test
 
@@ -103,6 +103,14 @@ soak:
 	$(GO) run ./cmd/psasoak -seed $(SOAK_SEED) -n 100000 -profile big -max-configs 32768 \
 		-budget $(SOAK_BUDGET) -corpus soak-corpus -json soak-report.json
 
+# Daemon end-to-end smoke — the CI psad-smoke job: boots cmd/psad on an
+# ephemeral port, drives both analyses plus /healthz and /metrics over
+# real HTTP, SIGTERMs it, and requires a clean drained exit 0. The
+# service-layer integration tests (coalescing, cancellation, shutdown)
+# run alongside under the race detector.
+psad-smoke:
+	$(GO) test -race -count=1 ./cmd/psad ./internal/service
+
 # Known-vulnerability scan over the module and its (stdlib-only)
 # dependency graph. govulncheck is optional locally, like staticcheck:
 # the target degrades with a notice so `make ci` works offline; the CI
@@ -116,4 +124,4 @@ vulncheck:
 	fi
 
 # Everything .github/workflows/ci.yml runs, locally.
-ci: fmt-check build lint vulncheck test race bench-smoke fuzz-smoke soak-smoke
+ci: fmt-check build lint vulncheck test race bench-smoke fuzz-smoke soak-smoke psad-smoke

@@ -24,13 +24,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime/trace"
 	"strings"
+	"syscall"
 
 	"psa/internal/core"
 	"psa/internal/metrics"
@@ -39,6 +42,14 @@ import (
 )
 
 func main() {
+	os.Exit(cliMain())
+}
+
+// cliMain carries the exit code so the deferred metrics flush and trace
+// finalizer execute on EVERY exit path — error exits used to os.Exit
+// past them, losing the -metrics-json snapshot and leaving truncated
+// trace files. main is the only caller of os.Exit.
+func cliMain() (code int) {
 	var (
 		reduction  = flag.String("reduction", "full", "expansion strategy: full or stubborn")
 		coarsen    = flag.Bool("coarsen", false, "virtually coarsen non-critical runs")
@@ -63,12 +74,12 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: explore [flags] program.cb")
 		flag.PrintDefaults()
-		os.Exit(2)
+		return 2
 	}
 	a, err := core.ParseFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	if *pprofAddr != "" {
@@ -84,11 +95,11 @@ func main() {
 		f, err := os.Create(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := trace.Start(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer func() {
 			trace.Stop()
@@ -102,7 +113,7 @@ func main() {
 	schedSel, okSched := sched.ParseScheduler(*schedMode)
 	if !okSched {
 		fmt.Fprintf(os.Stderr, "unknown scheduler %q (leveled|dep)\n", *schedMode)
-		os.Exit(2)
+		return 2
 	}
 
 	// One worker pool serves every exploration of the invocation (nil —
@@ -114,35 +125,25 @@ func main() {
 	if *showMet || *metJSON != "" || *progress > 0 {
 		reg = metrics.New()
 	}
+	// Deferred so the snapshot of whatever work DID happen survives
+	// error exits — the error paths above and below return instead of
+	// calling os.Exit, which would skip this flush.
+	defer func() {
+		if !flushMetrics(reg, *showMet, *metJSON) && code == 0 {
+			code = 1
+		}
+	}()
 	if *progress > 0 {
 		stop := reg.StartProgress(os.Stderr, *progress)
 		defer stop()
 	}
-	defer func() {
-		if reg == nil {
-			return
-		}
-		snap := reg.Snapshot()
-		if *showMet {
-			snap.WriteTable(os.Stdout)
-		}
-		if *metJSON != "" {
-			f, err := os.Create(*metJSON)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if err := snap.WriteJSON(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Printf("metrics written to %s\n", *metJSON)
-		}
-	}()
+
+	// SIGINT/SIGTERM cancel the in-flight exploration at its next merge
+	// boundary; the run returns a coherent partial result and the
+	// deferred flush still reports the metrics of the explored prefix.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	a.WithContext(ctx)
 
 	// One run configuration spans every exploration of the invocation.
 	a.Configure(core.RunOptions{
@@ -176,7 +177,11 @@ func main() {
 			}
 			fmt.Printf("%-17s %s%s\n", c.name+":", res, marker)
 		}
-		return
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted: results above cover the explored prefix only")
+			return 130
+		}
+		return 0
 	}
 
 	opts := a.Options().ExploreOptions()
@@ -188,7 +193,7 @@ func main() {
 		opts.Reduction = core.Stubborn
 	default:
 		fmt.Fprintf(os.Stderr, "unknown reduction %q\n", *reduction)
-		os.Exit(2)
+		return 2
 	}
 	switch *gran {
 	case "ref":
@@ -197,7 +202,7 @@ func main() {
 		opts.Granularity = sem.GranStmt
 	default:
 		fmt.Fprintf(os.Stderr, "unknown granularity %q\n", *gran)
-		os.Exit(2)
+		return 2
 	}
 
 	if *dot != "" || *divergence || *witness {
@@ -210,15 +215,16 @@ func main() {
 		f, err := os.Create(*dot)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := res.Graph.WriteDOT(f, flag.Arg(0)); err != nil {
+			f.Close()
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("configuration graph written to %s\n", *dot)
 	}
@@ -273,6 +279,43 @@ func main() {
 			fmt.Printf("terminal: %s\n", shorten(string(k)))
 		}
 	}
+
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "interrupted: results above cover the explored prefix only")
+		return 130
+	}
+	return 0
+}
+
+// flushMetrics writes the -metrics / -metrics-json reports; it runs
+// deferred so the snapshot of the work already done survives error
+// exits. Returns false when the JSON file could not be written.
+func flushMetrics(reg *metrics.Registry, showTable bool, jsonPath string) bool {
+	if reg == nil {
+		return true
+	}
+	snap := reg.Snapshot()
+	if showTable {
+		snap.WriteTable(os.Stdout)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return false
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			return false
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return false
+		}
+		fmt.Printf("metrics written to %s\n", jsonPath)
+	}
+	return true
 }
 
 func equal(a, b []string) bool {

@@ -24,11 +24,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"psa/internal/paperexp"
@@ -83,6 +86,12 @@ func main() {
 	defer pool.Close()
 	ro := pipeline.RunOptions{Workers: *workers, Sched: schedSel, Pool: pool, ExactKeys: *exactKeys}
 
+	// An interrupt stops at the next experiment boundary; the tables
+	// printed so far stand, the verification gate is skipped (its result
+	// would be incomplete), and the -json report still gets written.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	start := time.Now()
 	rep := &report{
 		GoOS:      runtime.GOOS,
@@ -99,6 +108,10 @@ func main() {
 	for _, e := range paperexp.Registry(*small) {
 		if *only != "" && e.ID != *only {
 			continue
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "paperbench: interrupted; remaining experiments skipped")
+			break
 		}
 		found = true
 		t0 := time.Now()
@@ -122,7 +135,7 @@ func main() {
 	// recorded counts exactly. Skipped when a single experiment was
 	// requested (exploratory use), unless verification was forced off
 	// anyway.
-	if *verify && *only == "" {
+	if *verify && *only == "" && ctx.Err() == nil {
 		rep.Workloads = paperexp.VerifyWorkloadsOpts(ro)
 		fmt.Printf("%-16s %-18s %10s %10s %10s %12s %12s  %s\n",
 			"workload", "strategy", "states", "edges", "dedup", "states/sec", "visited(B)", "ok")
@@ -194,5 +207,8 @@ func main() {
 
 	if !rep.OK {
 		os.Exit(1)
+	}
+	if ctx.Err() != nil {
+		os.Exit(130)
 	}
 }

@@ -37,10 +37,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"psa/internal/absdom"
 	"psa/internal/core"
@@ -50,6 +53,14 @@ import (
 )
 
 func main() {
+	os.Exit(cliMain())
+}
+
+// cliMain carries the exit code so the deferred metrics flush executes
+// on EVERY exit path — error exits used to os.Exit past the -metrics /
+// -metrics-json output, losing the snapshot of the work already done.
+// main is the only caller of os.Exit.
+func cliMain() (code int) {
 	var (
 		doExplore   = flag.Bool("explore", false, "print state-space statistics (full vs. stubborn vs. coarsened)")
 		deps        = flag.String("deps", "", "comma-separated statement labels: report data dependences")
@@ -77,12 +88,12 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: psa [flags] program.cb")
 		flag.PrintDefaults()
-		os.Exit(2)
+		return 2
 	}
 	a, err := core.ParseFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	if *format {
@@ -93,7 +104,7 @@ func main() {
 	schedSel, ok := sched.ParseScheduler(*schedMode)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown scheduler %q (leveled|dep)\n", *schedMode)
-		os.Exit(2)
+		return 2
 	}
 
 	// One worker pool spans every parallel engine run of the invocation
@@ -107,10 +118,24 @@ func main() {
 	if *showMetrics || *metricsJSON != "" || *progress > 0 {
 		reg = metrics.New()
 	}
+	// Deferred so every exit path — including error returns below —
+	// still reports the metrics of the work that DID run.
+	defer func() {
+		if !flushMetrics(reg, *showMetrics, *metricsJSON) && code == 0 {
+			code = 1
+		}
+	}()
 	if *progress > 0 {
 		stop := reg.StartProgress(os.Stderr, *progress)
 		defer stop()
 	}
+
+	// SIGINT/SIGTERM cancel the in-flight engine run at its next merge
+	// boundary; the run returns a coherent partial result and the
+	// deferred flush still reports the metrics of the explored prefix.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	a.WithContext(ctx)
 
 	// One run configuration spans every analysis of the invocation: the
 	// Collect-backed queries (dependences, anomalies, placements, ...)
@@ -158,7 +183,7 @@ func main() {
 		se, err := a.SideEffects(*effects)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if len(se) == 0 {
 			fmt.Printf("%s: no side effects (pure)\n", *effects)
@@ -189,7 +214,7 @@ func main() {
 		label, global, ok := splitPair(*hoist)
 		if !ok {
 			fmt.Fprintln(os.Stderr, "-hoist wants loopLabel:global")
-			os.Exit(2)
+			return 2
 		}
 		fmt.Printf("hoist %s out of %s: %s\n", global, label, a.NewOracle().HoistLoad(label, global))
 	}
@@ -199,7 +224,7 @@ func main() {
 		label, global, ok := splitPair(*constprop)
 		if !ok {
 			fmt.Fprintln(os.Stderr, "-constprop wants label:global")
-			os.Exit(2)
+			return 2
 		}
 		fmt.Printf("const-prop %s at %s: %s\n", global, label, a.NewOracle().ConstProp(label, global))
 	}
@@ -209,7 +234,7 @@ func main() {
 		dom := absdom.DomainByName(*abstract)
 		if dom == nil {
 			fmt.Fprintf(os.Stderr, "unknown domain %q (const|sign|interval)\n", *abstract)
-			os.Exit(2)
+			return 2
 		}
 		res := a.AbstractWith(core.AbstractOptions{Domain: dom, ClanFold: *clan})
 		fmt.Println(res)
@@ -228,20 +253,20 @@ func main() {
 		spec, file, ok := splitPairLast(*conflictdot)
 		if !ok {
 			fmt.Fprintln(os.Stderr, "-conflictdot wants label1,label2,...:file")
-			os.Exit(2)
+			return 2
 		}
 		f, err := os.Create(file)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := a.WriteConflictDOT(f, splitList(spec)...); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("conflict graph written to %s\n", file)
 	}
@@ -284,7 +309,7 @@ func main() {
 		ran = true
 		if err := a.Report(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -298,28 +323,42 @@ func main() {
 		}
 	}
 
-	if reg != nil {
-		snap := reg.Snapshot()
-		if *showMetrics {
-			snap.WriteTable(os.Stdout)
-		}
-		if *metricsJSON != "" {
-			f, err := os.Create(*metricsJSON)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if err := snap.WriteJSON(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Printf("metrics written to %s\n", *metricsJSON)
-		}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "psa: interrupted; reported results cover the explored prefix only")
+		return 130
 	}
+	return 0
+}
+
+// flushMetrics writes the -metrics / -metrics-json reports; it runs
+// deferred so the snapshot of the work already done survives error
+// exits. Returns false when the JSON file could not be written.
+func flushMetrics(reg *metrics.Registry, showTable bool, jsonPath string) bool {
+	if reg == nil {
+		return true
+	}
+	snap := reg.Snapshot()
+	if showTable {
+		snap.WriteTable(os.Stdout)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return false
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			return false
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return false
+		}
+		fmt.Printf("metrics written to %s\n", jsonPath)
+	}
+	return true
 }
 
 func splitList(s string) []string {

@@ -334,6 +334,62 @@ func TestPsaMetricsFlags(t *testing.T) {
 	}
 }
 
+// An error exit must still flush -metrics-json: the flush runs from a
+// defer that os.Exit used to skip, silently losing the snapshot of the
+// analyses that DID complete before the failing one.
+func TestMetricsFlushOnErrorExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	dir := t.TempDir()
+	prog := writeProg(t, dir)
+
+	assertExitWithMetrics := func(name, jsonPath string, wantCode int, err error) {
+		t.Helper()
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s: expected an exit error, got %v", name, err)
+		}
+		if ee.ExitCode() != wantCode {
+			t.Errorf("%s: exit code %d, want %d", name, ee.ExitCode(), wantCode)
+		}
+		data, rerr := os.ReadFile(jsonPath)
+		if rerr != nil {
+			t.Fatalf("%s: metrics json not written on error exit: %v", name, rerr)
+		}
+		var snap struct {
+			Counters map[string]int64 `json:"counters"`
+		}
+		if jerr := json.Unmarshal(data, &snap); jerr != nil {
+			t.Fatalf("%s: metrics json does not parse: %v\n%s", name, jerr, data)
+		}
+		if snap.Counters["states_unique"] == 0 {
+			t.Errorf("%s: flushed metrics lost the completed work: %v", name, snap.Counters)
+		}
+	}
+
+	// psa: -deps completes an instrumented exploration, then -effects on
+	// an unknown function fails with exit 1.
+	psa := buildCmd(t, dir, "./cmd/psa")
+	psaJSON := filepath.Join(dir, "psa-err.json")
+	out, err := exec.Command(psa, "-deps", "s1,s2", "-effects", "nosuchfunc",
+		"-metrics-json", psaJSON, prog).CombinedOutput()
+	if err == nil {
+		t.Fatalf("psa: expected exit 1 for unknown -effects function:\n%s", out)
+	}
+	assertExitWithMetrics("psa", psaJSON, 1, err)
+
+	// explore: the run completes, then the -dot file cannot be created.
+	explore := buildCmd(t, dir, "./cmd/explore")
+	expJSON := filepath.Join(dir, "explore-err.json")
+	out, err = exec.Command(explore, "-dot", filepath.Join(dir, "no", "such", "dir", "g.dot"),
+		"-metrics-json", expJSON, prog).CombinedOutput()
+	if err == nil {
+		t.Fatalf("explore: expected exit 1 for unwritable -dot path:\n%s", out)
+	}
+	assertExitWithMetrics("explore", expJSON, 1, err)
+}
+
 func TestExploreObservabilityFlags(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a binary")

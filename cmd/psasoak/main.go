@@ -27,12 +27,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"syscall"
 	"time"
 
 	"psa/internal/absdom"
@@ -100,6 +103,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	// An interrupt stops at the next program boundary so the report of
+	// everything already checked is still written (same contract as the
+	// --budget time box); a second signal kills the process outright.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	start := time.Now()
 	rep := &report{
 		BaseSeed:  *seed,
@@ -116,6 +125,10 @@ func main() {
 			if *verbose {
 				fmt.Fprintf(os.Stderr, "psasoak: time box reached after %d programs\n", i)
 			}
+			break
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "psasoak: interrupted after %d programs\n", i)
 			break
 		}
 		s := *seed + int64(i)

@@ -9,8 +9,12 @@
 //
 // The implementation lives under internal/ (see DESIGN.md for the system
 // inventory); cmd/psa, cmd/explore, cmd/paperbench and cmd/psasoak are
-// the command-line tools; bench_test.go regenerates every figure and
-// table of the paper's evaluation (see EXPERIMENTS.md).
+// the command-line tools, and cmd/psad serves the same analyses as a
+// long-lived HTTP/JSON daemon (internal/service: one process-wide
+// worker pool, identical in-flight requests coalesced onto one engine
+// run, results cached by program hash and options — DESIGN.md §11);
+// bench_test.go regenerates every figure and table of the paper's
+// evaluation (see EXPERIMENTS.md).
 //
 // Both engines are deterministically parallel on one shared runtime,
 // internal/sched: a persistent worker pool (explore/abssem
@@ -26,7 +30,12 @@
 // dependency-driven pipeline (Options.Sched = sched.DepDriven, CLI
 // flag -sched dep) that merges each task as soon as its predecessors
 // in sequential discovery order have merged — no level barrier, same
-// bit-identical results.
+// bit-identical results. Both engines accept a context
+// (explore.ExploreContext, abssem.AnalyzeContext, or
+// core.Analyzer.WithContext): cancellation stops the run at its next
+// merge boundary and returns a coherent partial result flagged
+// Cancelled — the same cut shape as MaxConfigs/MaxStates truncation,
+// except never cached, since the cut point is timing-dependent.
 //
 // The engines are instrumented through internal/metrics, a nil-safe
 // registry of atomic counters, per-level statistics, and phase timings

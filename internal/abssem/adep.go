@@ -1,6 +1,8 @@
 package abssem
 
 import (
+	"context"
+
 	"psa/internal/lang"
 	"psa/internal/metrics"
 	"psa/internal/sched"
@@ -43,7 +45,12 @@ import (
 // total−i (tasks published minus tasks merged), which matches it
 // exactly — including MaxFrontier, which the leveled engine can only
 // approximate per round.
-func analyzeDep(prog *lang.Program, opts Options) *Result {
+//
+// Cancellation rides dep.RunContext: the merge chain stops before its
+// next task once ctx fires, in-flight expansions drain, and the run
+// falls through to collection exactly like the MaxStates truncation
+// cut, so the partial Result is coherent for the merged prefix.
+func analyzeDep(ctx context.Context, prog *lang.Program, opts Options) *Result {
 	pool := opts.Pool
 	if pool == nil {
 		pool = sched.NewPool(opts.Workers)
@@ -158,7 +165,9 @@ func analyzeDep(prog *lang.Program, opts Options) *Result {
 		return true
 	}
 
-	dep.Run([]*aState{st0}, expand, nil, merge)
+	if !dep.RunContext(ctx, []*aState{st0}, expand, nil, merge) && !res.Truncated {
+		res.Cancelled = true
+	}
 	res.collect(states, m)
 	return res
 }

@@ -1,6 +1,7 @@
 package abssem
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -134,6 +135,13 @@ type Result struct {
 	// program (the fixpoint was cut short), so clients must treat them
 	// as partial.
 	Truncated bool
+	// Cancelled reports that the run's context was cancelled before the
+	// fixpoint converged (see AnalyzeContext). The same coherence
+	// contract as Truncated holds — collection still runs, so
+	// invariants, the terminal join, and footprints cover the explored
+	// prefix — but the cut point depends on timing, so cancelled results
+	// must never enter options-keyed caches.
+	Cancelled bool
 
 	prog *lang.Program
 	foot *footRec
@@ -239,13 +247,30 @@ func newStepCtx(prog *lang.Program, opts Options) *stepCtx {
 
 // Analyze runs the abstract interpretation of prog to a fixpoint.
 func Analyze(prog *lang.Program, opts Options) *Result {
+	return AnalyzeContext(context.Background(), prog, opts)
+}
+
+// AnalyzeContext is Analyze under a context: cancelling ctx stops the
+// fixpoint iteration at the next worklist boundary and returns a
+// partial result with Result.Cancelled set. The cut takes the exact
+// shape of the MaxStates truncation cut — collection still runs, so the
+// invariants, terminal join, and footprints cover the explored prefix,
+// and in-flight parallel expansions drain before AnalyzeContext returns
+// (no callback or worker touches the result afterwards).
+func AnalyzeContext(ctx context.Context, prog *lang.Program, opts Options) *Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts.fill()
 	if opts.Workers > 1 || opts.Workers < 0 || (opts.Sched == sched.DepDriven && opts.Workers == 1) {
 		if opts.Sched == sched.DepDriven {
-			return analyzeDep(prog, opts)
+			return analyzeDep(ctx, prog, opts)
 		}
-		return analyzeParallel(prog, opts)
+		return analyzeParallel(ctx, prog, opts)
 	}
+	// done is nil for a never-cancellable context, keeping the worklist
+	// loop's cancellation probe a single nil check.
+	done := ctx.Done()
 	m := opts.Metrics
 	defer m.Phase("abstract")()
 	sc := newStepCtx(prog, opts)
@@ -259,6 +284,18 @@ func Analyze(prog *lang.Program, opts Options) *Result {
 
 fixpoint:
 	for len(queue) > 0 {
+		if done != nil {
+			select {
+			case <-done:
+				// Cancelled: cut exactly like the MaxStates truncation —
+				// fall through to collection so the run still reports
+				// invariants, terminals, and footprints for the explored
+				// prefix.
+				res.Cancelled = true
+				break fixpoint
+			default:
+			}
+		}
 		m.SetGauge(metrics.QueueLen, int64(len(queue)))
 		m.MaxGauge(metrics.MaxFrontier, int64(len(queue)))
 		sig := queue[0]

@@ -1,6 +1,8 @@
 package abssem
 
 import (
+	"context"
+
 	"psa/internal/lang"
 	"psa/internal/metrics"
 	"psa/internal/sched"
@@ -37,7 +39,13 @@ import (
 // it. Stale entries are rare in practice (a state must be re-joined in
 // the same round that re-visits it) and are counted in the perf-only
 // abs_stale_recomputes metric.
-func analyzeParallel(prog *lang.Program, opts Options) *Result {
+//
+// Cancellation rides the sched runtime: rounds.DoContext stops the
+// serial merge before its next entry once ctx fires, in-flight
+// expansions drain, and the run falls through to collection exactly
+// like the MaxStates truncation cut, so the partial Result is coherent
+// for the merged prefix.
+func analyzeParallel(ctx context.Context, prog *lang.Program, opts Options) *Result {
 	pool := opts.Pool
 	if pool == nil {
 		pool = sched.NewPool(opts.Workers)
@@ -150,8 +158,13 @@ func analyzeParallel(prog *lang.Program, opts Options) *Result {
 			return true
 		}
 
-		if !rounds.Do(len(round), expand1, merge1) {
-			break // truncated: fall through to collection
+		if !rounds.DoContext(ctx, len(round), expand1, merge1) {
+			// Truncated or cancelled: fall through to collection either
+			// way, so the partial result reports the explored prefix.
+			if !res.Truncated {
+				res.Cancelled = true
+			}
+			break
 		}
 	}
 

@@ -1,6 +1,7 @@
 package abssem
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -100,7 +101,7 @@ func TestParallelMatchesSequentialAbstract(t *testing.T) {
 						// Analyze; drive the parallel engine's single-worker
 						// inline path directly so it is covered too.
 						opts.fill()
-						par = analyzeParallel(prog, opts)
+						par = analyzeParallel(context.Background(), prog, opts)
 					} else {
 						par = Analyze(prog, opts)
 					}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"psa/internal/lang"
+	"psa/internal/metrics"
+	"psa/internal/workloads"
+)
+
+// A Collect under a cancelled context returns a partial collector but
+// must NOT cache it: the cut point is timing-dependent, so a later query
+// under the same options key must rerun the traversal and get the full
+// artifacts.
+func TestCollectCancelledNotCached(t *testing.T) {
+	reg := metrics.New()
+	a := FromProgram(workloads.Philosophers(3)).Configure(RunOptions{Metrics: reg})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	partial := a.WithContext(ctx).Collect()
+	if partial == nil {
+		t.Fatal("cancelled Collect returned nil")
+	}
+
+	full := a.WithContext(nil).Collect()
+	if full == partial {
+		t.Fatal("cancelled collector was cached and served to the next query")
+	}
+	// The rerun must be a cache miss (the cancelled run left no entry),
+	// and only now does the entry exist for a third query to hit.
+	snap := reg.Snapshot()
+	if snap.Counters["analysis_cache_hit"] != 0 || snap.Counters["analysis_cache_miss"] != 2 {
+		t.Fatalf("cache counters after cancelled+full Collect: hits=%d misses=%d, want 0/2",
+			snap.Counters["analysis_cache_hit"], snap.Counters["analysis_cache_miss"])
+	}
+	if again := a.Collect(); again != full {
+		t.Fatal("completed collector was not cached")
+	}
+}
+
+// Same guard for the abstract-result cache.
+func TestAbstractCancelledNotCached(t *testing.T) {
+	a := FromProgram(workloads.Philosophers(3)).Configure(RunOptions{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	partial := a.WithContext(ctx).Abstract()
+	if !partial.Cancelled {
+		t.Fatal("pre-cancelled Abstract did not report Cancelled")
+	}
+
+	full := a.WithContext(nil).Abstract()
+	if full == partial {
+		t.Fatal("cancelled abstract result was cached and served to the next query")
+	}
+	if full.Cancelled {
+		t.Fatal("rerun under a live context still reports Cancelled")
+	}
+	if again := a.Abstract(); again != full {
+		t.Fatal("completed abstract result was not cached")
+	}
+}
+
+// Explore threads the analyzer context straight to the engine.
+func TestAnalyzerExploreContext(t *testing.T) {
+	a := FromProgram(workloads.Philosophers(3)).Configure(RunOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := a.WithContext(ctx).Explore(a.Options().ExploreOptions())
+	if !res.Cancelled {
+		t.Fatal("Explore under a cancelled analyzer context did not report Cancelled")
+	}
+	full := a.WithContext(nil).Explore(a.Options().ExploreOptions())
+	if full.Cancelled || full.States <= res.States {
+		t.Fatalf("full rerun after cancelled Explore: %v (cancelled prefix %v)", full, res)
+	}
+}
+
+// The cancelled collector still holds coherent prefix artifacts — the
+// queries built on it must not panic or fabricate data beyond the
+// explored prefix.
+func TestCancelledCollectorQueriesSafe(t *testing.T) {
+	prog, err := lang.Parse(`
+var g;
+func main() {
+  cobegin {
+    s1: g = 1;
+  } || {
+    s2: g = 2;
+  } coend
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := FromProgram(prog)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	deps := a.WithContext(ctx).Dependences("s1", "s2")
+	fullDeps := a.WithContext(nil).Dependences("s1", "s2")
+	if len(deps) > len(fullDeps) {
+		t.Fatalf("cancelled-prefix dependences (%d) exceed the full set (%d)", len(deps), len(fullDeps))
+	}
+}

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -87,6 +88,7 @@ type Analyzer struct {
 
 	opts    pipeline.RunOptions
 	ownPool *sched.Pool
+	ctx     context.Context
 
 	collectors map[string]*analysis.Collector
 	abstracts  map[string]*abssem.Result
@@ -133,6 +135,26 @@ func (a *Analyzer) Configure(ro RunOptions) *Analyzer {
 // Options returns the analyzer's current run configuration.
 func (a *Analyzer) Options() RunOptions { return a.opts }
 
+// WithContext installs the context every subsequent run of this analyzer
+// executes under, and returns the analyzer for chaining. Cancelling the
+// context stops in-flight explorations and fixpoints at their next merge
+// boundary; the run returns a coherent partial result with Cancelled set
+// (same cut shape as the MaxConfigs/MaxStates truncation), and cancelled
+// results never enter the analyzer's options-keyed caches. A nil context
+// restores the default (never cancelled).
+func (a *Analyzer) WithContext(ctx context.Context) *Analyzer {
+	a.ctx = ctx
+	return a
+}
+
+// context returns the analyzer's run context, defaulting to Background.
+func (a *Analyzer) context() context.Context {
+	if a.ctx != nil {
+		return a.ctx
+	}
+	return context.Background()
+}
+
 // Close releases the worker pool the analyzer created for its own
 // parallel runs. It never closes a caller-supplied RunOptions.Pool, and
 // is a no-op on sequential analyzers. The analyzer remains usable; a
@@ -171,7 +193,7 @@ func (a *Analyzer) Explore(opts ExploreOptions) *ExploreResult {
 	if opts.Pool == nil && opts.Workers == a.opts.Workers {
 		opts.Pool = a.pool()
 	}
-	return explore.Explore(a.Prog, opts)
+	return explore.ExploreContext(a.context(), a.Prog, opts)
 }
 
 // Collect runs one instrumented exploration under the configured options
@@ -200,8 +222,10 @@ func (a *Analyzer) Collect(extra ...explore.Sink) *Collector {
 	} else {
 		a.opts.Metrics.Inc(metrics.AnalysisCacheMiss)
 	}
-	pipeline.Explore(a.Prog, a.runOptions(), sinks...)
-	if !hit {
+	res := pipeline.ExploreContext(a.context(), a.Prog, a.runOptions(), sinks...)
+	if !hit && !res.Cancelled {
+		// A cancelled traversal fed the collector a timing-dependent
+		// prefix of the stream; never cache it, so the next query reruns.
 		if a.collectors == nil {
 			a.collectors = make(map[string]*analysis.Collector)
 		}
@@ -239,11 +263,15 @@ func (a *Analyzer) AbstractWith(opts AbstractOptions) *AbstractResult {
 	if opts.Metrics == nil {
 		opts.Metrics = a.opts.Metrics
 	}
-	res := abssem.Analyze(a.Prog, opts)
-	if a.abstracts == nil {
-		a.abstracts = make(map[string]*abssem.Result)
+	res := abssem.AnalyzeContext(a.context(), a.Prog, opts)
+	if !res.Cancelled {
+		// Cancelled fixpoints carry a timing-dependent cut; caching one
+		// would serve a partial result to every later query.
+		if a.abstracts == nil {
+			a.abstracts = make(map[string]*abssem.Result)
+		}
+		a.abstracts[key] = res
 	}
-	a.abstracts[key] = res
 	return res
 }
 

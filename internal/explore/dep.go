@@ -1,6 +1,8 @@
 package explore
 
 import (
+	"context"
+
 	"psa/internal/metrics"
 	"psa/internal/sched"
 	"psa/internal/sem"
@@ -39,7 +41,13 @@ import (
 // the same wave countdown the sequential loop uses, and MaxFrontier,
 // which the leveled engine can only approximate per round — are
 // bit-identical to the sequential explorer's at any worker count.
-func exploreDep(c0 *sem.Config, opts Options) *Result {
+// Cancellation rides dep.RunContext: the merge chain stops before its
+// next task once ctx fires, in-flight expansions drain, and the partial
+// Result is coherent for the merged prefix — the same cut shape as
+// MaxConfigs truncation (over-inserted visited-set identities from the
+// own chain running ahead are invisible in the Result, exactly as on a
+// truncated run).
+func exploreDep(ctx context.Context, c0 *sem.Config, opts Options) *Result {
 	pool := opts.Pool
 	if pool == nil {
 		pool = sched.NewPool(opts.Workers)
@@ -212,7 +220,9 @@ func exploreDep(c0 *sem.Config, opts Options) *Result {
 		return true
 	}
 
-	dep.Run([]item{seed}, expand, own, merge)
+	if !dep.RunContext(ctx, []item{seed}, expand, own, merge) && !res.Truncated {
+		res.Cancelled = true
+	}
 	m.EndLevel()
 	return res
 }

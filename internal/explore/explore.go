@@ -17,6 +17,7 @@
 package explore
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -145,6 +146,14 @@ type Result struct {
 	// Truncated reports that MaxConfigs was hit; counts are lower bounds
 	// and Terminals may be incomplete.
 	Truncated bool
+	// Cancelled reports that the run's context was cancelled before the
+	// exploration finished (see ExploreContext). A cancelled result obeys
+	// the same artifact-coherence contract as a truncated one: counts,
+	// Terminals, Errors, Events, and the Graph all describe exactly the
+	// explored prefix. Unlike Truncated, the cut point depends on timing,
+	// so two cancelled runs of the same program may explore different
+	// prefixes — cancelled results must never enter options-keyed caches.
+	Cancelled bool
 	// MaxFrontier is the peak size of the BFS frontier (memory proxy).
 	MaxFrontier int
 	// Graph is the explicit configuration graph (nil unless KeepGraph).
@@ -153,24 +162,46 @@ type Result struct {
 
 // Explore runs prog to exhaustion under opts.
 func Explore(prog *lang.Program, opts Options) *Result {
+	return ExploreContext(context.Background(), prog, opts)
+}
+
+// ExploreContext is Explore under a context: cancelling ctx stops the
+// exploration at the next configuration boundary and returns a partial
+// result with Result.Cancelled set. The cut takes the exact shape of the
+// MaxConfigs truncation cut — in-flight parallel expansions drain before
+// ExploreContext returns (no callback or worker touches the result
+// afterwards), and every artifact is coherent for the explored prefix.
+func ExploreContext(ctx context.Context, prog *lang.Program, opts Options) *Result {
 	c0 := sem.NewConfig(prog)
 	if opts.Granularity != sem.GranRef {
 		c0 = c0.SetGranularity(opts.Granularity)
 	}
-	return ExploreFrom(c0, opts)
+	return ExploreFromContext(ctx, c0, opts)
 }
 
 // ExploreFrom runs from a prepared initial configuration.
 func ExploreFrom(c0 *sem.Config, opts Options) *Result {
+	return ExploreFromContext(context.Background(), c0, opts)
+}
+
+// ExploreFromContext is ExploreFrom under a context (see ExploreContext
+// for the cancellation contract).
+func ExploreFromContext(ctx context.Context, c0 *sem.Config, opts Options) *Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.MaxConfigs <= 0 {
 		opts.MaxConfigs = 1 << 20
 	}
 	if opts.Workers > 1 || opts.Workers < 0 || (opts.Sched == sched.DepDriven && opts.Workers == 1) {
 		if opts.Sched == sched.DepDriven {
-			return exploreDep(c0, opts)
+			return exploreDep(ctx, c0, opts)
 		}
-		return exploreParallel(c0, opts, opts.Workers)
+		return exploreParallel(ctx, c0, opts, opts.Workers)
 	}
+	// done is nil for a never-cancellable context, keeping the hot loop's
+	// cancellation probe a single nil check.
+	done := ctx.Done()
 	m := opts.Metrics
 	defer m.Phase("explore")()
 	var sm *sem.Summaries
@@ -207,6 +238,17 @@ func ExploreFrom(c0 *sem.Config, opts Options) *Result {
 	levelRemaining := len(queue)
 	m.BeginLevel(len(queue))
 	for head < len(queue) {
+		if done != nil {
+			select {
+			case <-done:
+				// Cancelled: cut exactly like MaxConfigs truncation — the
+				// artifacts already collected describe the explored prefix.
+				res.Cancelled = true
+				m.EndLevel()
+				return res
+			default:
+			}
+		}
 		if levelRemaining == 0 {
 			m.EndLevel()
 			levelRemaining = len(queue) - head

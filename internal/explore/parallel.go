@@ -1,6 +1,8 @@
 package explore
 
 import (
+	"context"
+
 	"psa/internal/metrics"
 	"psa/internal/sched"
 	"psa/internal/sem"
@@ -32,7 +34,13 @@ import (
 // bookkeeping) is serialized per level in deterministic frontier order,
 // so sinks and the metrics registry see the same stream as a sequential
 // run, regardless of worker count.
-func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
+// Cancellation rides the sched runtime: rounds.DoContext stops the
+// serial merge before its next entry once ctx fires (and skips not-yet-
+// started expansions), so a cancelled run returns a partial Result with
+// the same per-entry coherence as a MaxConfigs cut — every artifact
+// describes exactly the merged prefix, and no worker or callback runs
+// after return.
+func exploreParallel(ctx context.Context, c0 *sem.Config, opts Options, workers int) *Result {
 	pool := opts.Pool
 	if pool == nil {
 		pool = sched.NewPool(workers)
@@ -193,9 +201,14 @@ func exploreParallel(c0 *sem.Config, opts Options, workers int) *Result {
 		// while later frontier entries are still unread, so it can never
 		// share the frontier's backing array.
 		next = nil
-		ok := rounds.Do(len(frontier), expand1, merge1)
+		ok := rounds.DoContext(ctx, len(frontier), expand1, merge1)
 		m.EndLevel()
 		if !ok {
+			// Either the MaxConfigs cut (merge1 returned false after
+			// setting Truncated) or ctx cancellation stopped the round.
+			if !res.Truncated {
+				res.Cancelled = true
+			}
 			return res
 		}
 		frontier = next

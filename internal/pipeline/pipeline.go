@@ -27,6 +27,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -243,6 +244,16 @@ func (ms *MultiSink) Flush() {
 // fused run's result and every sink's observed stream are bit-identical
 // to dedicated runs per sink.
 func Explore(prog *lang.Program, ro RunOptions, sinks ...NamedSink) *explore.Result {
+	return ExploreContext(context.Background(), prog, ro, sinks...)
+}
+
+// ExploreContext is Explore under a context: cancelling ctx stops the
+// traversal at the engine's next merge boundary and returns a partial
+// result with Cancelled set (see explore.ExploreContext). Sinks are
+// flushed either way, so a cancelled run's per-sink phases cover
+// exactly the merged prefix. Cancelled results carry a timing-dependent
+// cut and must never enter options-keyed caches.
+func ExploreContext(ctx context.Context, prog *lang.Program, ro RunOptions, sinks ...NamedSink) *explore.Result {
 	ms := NewMultiSink(ro.Metrics)
 	for _, ns := range sinks {
 		ms.Add(ns.Name, ns.Sink)
@@ -251,7 +262,7 @@ func Explore(prog *lang.Program, ro RunOptions, sinks ...NamedSink) *explore.Res
 	if ms.Len() > 0 {
 		eo.Sink = ms
 	}
-	res := explore.Explore(prog, eo)
+	res := explore.ExploreContext(ctx, prog, eo)
 	ms.Flush()
 	return res
 }
@@ -270,9 +281,18 @@ type NamedSink struct {
 // set on the derived options via the extra parameter; nil keeps the
 // defaults.
 func Analyze(prog *lang.Program, ro RunOptions, adjust func(*abssem.Options)) *abssem.Result {
+	return AnalyzeContext(context.Background(), prog, ro, adjust)
+}
+
+// AnalyzeContext is Analyze under a context: cancelling ctx stops the
+// fixpoint at the engine's next worklist boundary and returns a partial
+// result with Cancelled set (see abssem.AnalyzeContext). Cancelled
+// results carry a timing-dependent cut and must never enter
+// options-keyed caches.
+func AnalyzeContext(ctx context.Context, prog *lang.Program, ro RunOptions, adjust func(*abssem.Options)) *abssem.Result {
 	ao := ro.AbstractOptions()
 	if adjust != nil {
 		adjust(&ao)
 	}
-	return abssem.Analyze(prog, ao)
+	return abssem.AnalyzeContext(ctx, prog, ao)
 }

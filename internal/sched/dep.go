@@ -1,6 +1,9 @@
 package sched
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Scheduler selects which deterministic parallel protocol an engine runs
 // on. Both protocols produce bit-identical results and deterministic
@@ -300,6 +303,25 @@ func (d *DepRounds[P, T]) Run(
 	own func(i int, p *P, slot *T),
 	merge func(i int, p *P, slot *T, emit func(P)) bool,
 ) bool {
+	return d.RunContext(context.Background(), seeds, expand, own, merge)
+}
+
+// RunContext is Run with cooperative cancellation. Once ctx is
+// cancelled the merger stops before its next merge — including waking
+// out of a blocked wait on the head task — and RunContext takes the
+// early-stop path a false-returning merge takes: remaining tasks are
+// dropped, in-flight expansions finish their current item and quiesce,
+// and RunContext returns false only after every worker has left the
+// run, so no callback touches engine state afterwards. Cancellation
+// latency is bounded by the longest single expansion in flight.
+func (d *DepRounds[P, T]) RunContext(
+	ctx context.Context,
+	seeds []P,
+	expand func(i int, p *P, slot *T),
+	own func(i int, p *P, slot *T),
+	merge func(i int, p *P, slot *T, emit func(P)) bool,
+) bool {
+	done := ctx.Done()
 	r := &depRun[P, T]{nw: d.pool.Workers(), hasOwn: own != nil, waitFor: -1, hooks: d.hooks}
 	r.moreWork.L = &r.mu
 	r.headRdy.L = &r.mu
@@ -318,6 +340,35 @@ func (d *DepRounds[P, T]) Run(
 		}()
 	}
 
+	cancelled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	if done != nil {
+		// The merger may be asleep on headRdy when ctx fires; this watcher
+		// delivers the wakeup. The broadcast runs under mu, so it cannot
+		// slip between the merger's cancellation check and its Wait (Wait
+		// releases mu only once the merger is registered on the cond).
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-done:
+				r.mu.Lock()
+				r.headRdy.Broadcast()
+				r.mu.Unlock()
+			case <-stopWatch:
+			}
+		}()
+	}
+
 	emit := func(p P) {
 		r.mu.Lock()
 		r.publishLocked(p)
@@ -327,6 +378,10 @@ func (d *DepRounds[P, T]) Run(
 	ok := true
 	head := 0
 	for {
+		if cancelled() {
+			ok = false
+			break
+		}
 		r.mu.Lock()
 		if head >= r.total {
 			// total grows only through emit (this goroutine), so an empty
@@ -334,7 +389,12 @@ func (d *DepRounds[P, T]) Run(
 			r.mu.Unlock()
 			break
 		}
+		stopped := false
 		for {
+			if cancelled() {
+				stopped = true
+				break
+			}
 			t := r.task(head)
 			if r.readyLocked(t) {
 				break
@@ -358,13 +418,19 @@ func (d *DepRounds[P, T]) Run(
 				continue
 			}
 			// A worker holds the head (claimed) or the own chain (ownBusy);
-			// it will signal when the head progresses.
+			// it will signal when the head progresses, and the ctx watcher
+			// broadcasts on cancellation.
 			r.waitFor = head
 			if h := d.hooks.MergeWait; h != nil {
 				h()
 			}
 			r.headRdy.Wait()
 			r.waitFor = -1
+		}
+		if stopped {
+			r.mu.Unlock()
+			ok = false
+			break
 		}
 		t := r.task(head)
 		r.mu.Unlock()

@@ -1,5 +1,7 @@
 package sched
 
+import "context"
+
 // Hooks are the optional observability callbacks of a Rounds runtime.
 // Every field may be nil. None of them may influence results: they exist
 // so engines can feed their own metric labels (frontier_steals vs
@@ -58,6 +60,21 @@ func (r *Rounds[T]) Pool() *Pool { return r.pool }
 // expand must confine itself to its slot and data no other expansion
 // writes; merge is the only callback that may touch shared engine state.
 func (r *Rounds[T]) Do(n int, expand func(i int, slot *T), merge func(i int, slot *T) bool) bool {
+	return r.DoContext(context.Background(), n, expand, merge)
+}
+
+// DoContext is Do with cooperative cancellation: once ctx is cancelled,
+// workers skip the expansion of every grain they have not started yet
+// (leaving those slots zeroed) and the merge replay stops before its
+// next entry, so DoContext returns false — the same early-stop shape as
+// a merge returning false — without ever merging a slot whose expansion
+// was skipped (cancellation is monotone: a skipped expansion implies
+// the pre-merge check sees the same cancelled context). In-flight
+// expansions run to completion on their current item, which bounds the
+// cancellation latency by one item's work; no callback runs after
+// DoContext returns.
+func (r *Rounds[T]) DoContext(ctx context.Context, n int, expand func(i int, slot *T), merge func(i int, slot *T) bool) bool {
+	done := ctx.Done()
 	if r.hooks.Width != nil {
 		r.hooks.Width(n)
 	}
@@ -71,7 +88,20 @@ func (r *Rounds[T]) Do(n int, expand func(i int, slot *T), merge func(i int, slo
 	if r.hooks.ExpandPhase != nil {
 		stopExpand = r.hooks.ExpandPhase()
 	}
-	steals := r.pool.Run(n, func(i int) { expand(i, &r.slots[i]) })
+	expand1 := expand
+	if done != nil {
+		expand1 = func(i int, slot *T) {
+			select {
+			case <-done:
+				// Cancelled: leave the slot zeroed. The merge loop below
+				// re-checks ctx before every merge, so this slot is never
+				// consumed.
+			default:
+				expand(i, slot)
+			}
+		}
+	}
+	steals := r.pool.Run(n, func(i int) { expand1(i, &r.slots[i]) })
 	if r.hooks.Steals != nil {
 		r.hooks.Steals(steals)
 	}
@@ -83,6 +113,16 @@ func (r *Rounds[T]) Do(n int, expand func(i int, slot *T), merge func(i int, slo
 	}
 	ok := true
 	for i := 0; i < n; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				ok = false
+			default:
+			}
+			if !ok {
+				break
+			}
+		}
 		if !merge(i, &r.slots[i]) {
 			ok = false
 			break

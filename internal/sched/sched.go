@@ -84,10 +84,24 @@ func grainCount(n, grain int) int {
 // then interleaved over the same workers), but must not be called from
 // inside a Run callback — the workers and the blocked outer caller would
 // starve the inner round.
+//
+// Close is safe against both hazards a long-running service exposes: a
+// second Close (idempotent — both calls return only after every worker
+// has exited) and a Close racing an in-flight Run. Close waits for
+// active rounds to finish before the task channel goes away, and a Run
+// that starts after Close has begun degrades to inline serial execution
+// instead of panicking on a dead channel, so neither side can deadlock
+// or leak workers.
 type Pool struct {
 	workers int
 	tasks   chan *task
 	wg      sync.WaitGroup
+
+	// Close/Run lifecycle: closed flips exactly once under mu; active
+	// counts in-flight Run calls that hold the right to send on tasks.
+	mu     sync.Mutex
+	closed bool
+	active sync.WaitGroup
 }
 
 // task is one Run's shared round state: the claim array, the steal
@@ -138,14 +152,43 @@ func (p *Pool) Workers() int {
 
 // Close shuts the workers down and waits for them to exit, so a
 // NumGoroutine measurement taken after Close sees none of the pool's
-// goroutines. Close is a no-op on a nil pool; Run must not be called
-// after Close.
+// goroutines. Close is a no-op on a nil pool and idempotent on a real
+// one; a Close racing an in-flight Run waits for that round to finish
+// first, and a Run issued after Close runs inline on the caller's
+// goroutine.
 func (p *Pool) Close() {
 	if p == nil {
 		return
 	}
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	p.mu.Unlock()
+	if already {
+		// Someone else is (or was) shutting down; just wait for the
+		// workers to be gone so every Close call has the same
+		// post-condition.
+		p.wg.Wait()
+		return
+	}
+	// Drain in-flight rounds before retiring the channel: their task
+	// sends must land on live workers.
+	p.active.Wait()
 	close(p.tasks)
 	p.wg.Wait()
+}
+
+// acquire registers an in-flight Run; it reports false when the pool is
+// (being) closed, in which case the caller must execute inline instead
+// of touching the task channel.
+func (p *Pool) acquire() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.active.Add(1)
+	return true
 }
 
 func (p *Pool) worker() {
@@ -176,12 +219,13 @@ func (p *Pool) Run(n int, f func(i int)) (steals int64) {
 	if nw > grains {
 		nw = grains
 	}
-	if p == nil || nw <= 1 {
+	if p == nil || nw <= 1 || !p.acquire() {
 		for i := 0; i < n; i++ {
 			f(i)
 		}
 		return 0
 	}
+	defer p.active.Done()
 	t := &task{n: n, grain: grain, grains: grains, nw: nw, f: f,
 		claimed: make([]atomic.Bool, grains)}
 	t.done.Add(nw)
