@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build test test-short vet lint bench benchcmp paperbench examples clean \
-	fmt fmt-check race bench-smoke fuzz-smoke soak-smoke soak psad-smoke vulncheck ci
+	fmt fmt-check race bench-smoke fuzz-smoke soak-smoke soak-edits soak psad-smoke vulncheck ci
 
 all: build vet test
 
@@ -37,7 +37,7 @@ bench:
 # against BASE (default origin/main) and print the benchstat delta.
 # Requires benchstat (go install golang.org/x/perf/cmd/benchstat@latest).
 BASE ?= origin/main
-BENCH_PAT ?= BenchmarkPhilosophers|BenchmarkEncode|BenchmarkParallelExploration|BenchmarkAbstract|BenchmarkSchedRounds|BenchmarkSchedDep
+BENCH_PAT ?= BenchmarkPhilosophers|BenchmarkEncode|BenchmarkParallelExploration|BenchmarkAbstract|BenchmarkSchedRounds|BenchmarkSchedDep|BenchmarkIncrementalReanalysis
 benchcmp:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -count=6 . > /tmp/bench-head.txt
 	@tmp=$$(mktemp -d); \
@@ -96,6 +96,15 @@ SOAK_N ?= 200
 soak-smoke:
 	$(GO) run ./cmd/psasoak -seed $(SOAK_SEED) -n $(SOAK_N) -max-configs 4096 -corpus soak-corpus
 
+# Fixed-seed edit-sequence soak smoke — the CI soak-edits job: oracle 5
+# drives random 3-edit chains (progen.Mutate) through persistent
+# incremental sessions at 0/1/4 workers under both schedulers and
+# requires bit-identical results and deterministic counters against
+# from-scratch analysis of every version, under the race detector.
+EDITS_N ?= 200
+soak-edits:
+	$(GO) run -race ./cmd/psasoak -seed $(SOAK_SEED) -n $(EDITS_N) -edits 3 -profile small -max-configs 4096 -corpus soak-corpus
+
 # Open-ended local soak: bigger programs, deeper exploration, time-boxed.
 # Raise SOAK_BUDGET for a long background run (e.g. make soak SOAK_BUDGET=2h).
 SOAK_BUDGET ?= 10m
@@ -124,4 +133,4 @@ vulncheck:
 	fi
 
 # Everything .github/workflows/ci.yml runs, locally.
-ci: fmt-check build lint vulncheck test race bench-smoke fuzz-smoke soak-smoke psad-smoke
+ci: fmt-check build lint vulncheck test race bench-smoke fuzz-smoke soak-smoke soak-edits psad-smoke

@@ -11,6 +11,7 @@
 //	  -sched leveled  parallel scheduler: leveled or dep
 //	  -drain 10s      graceful-shutdown drain budget
 //	  -max-body N     request body cap in bytes
+//	  -cache-max N    completed-result cache bound (LRU; <0 unbounded)
 //
 // Endpoints:
 //
@@ -20,10 +21,19 @@
 //
 // Identical concurrent submissions (same program hash, same
 // result-relevant options) coalesce onto one engine run; completed
-// results are cached under the same key. Worker count and scheduler are
-// server-side configuration: by the engines' determinism contract they
-// never change results, so responses are bit-identical to cmd/psa's
-// summaries for the same program and options at any -workers setting.
+// results are cached under the same key, bounded by -cache-max with
+// least-recently-used eviction (the cache_evictions counter in /metrics
+// tracks drops). Worker count and scheduler are server-side
+// configuration: by the engines' determinism contract they never change
+// results, so responses are bit-identical to cmd/psa's summaries for
+// the same program and options at any -workers setting.
+//
+// Incremental re-analysis: an abstract response carries a program_hash;
+// submitting an edited program with {"base": "<that hash>"} routes the
+// run through a per-options incremental session that reuses procedure
+// summaries for unchanged code (summary_hit / summary_miss /
+// summary_invalidated in /metrics). Responses stay bit-identical to
+// cold runs — base is purely an optimization hint.
 //
 // Shutdown: on SIGINT/SIGTERM the daemon stops accepting connections
 // and drains in-flight requests for -drain; runs still going after the
@@ -56,11 +66,12 @@ func main() {
 // drain) executes on every path; main is the only caller of os.Exit.
 func run() int {
 	var (
-		addr    = flag.String("addr", ":8723", "listen address")
-		workers = flag.Int("workers", 0, "worker goroutines per analysis run (0/1 sequential, <0 GOMAXPROCS); results are identical at any count")
-		schedMd = flag.String("sched", "leveled", "parallel scheduler: leveled or dep; results are identical in either mode")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before in-flight runs are cancelled")
-		maxBody = flag.Int64("max-body", 1<<20, "request body cap in bytes")
+		addr     = flag.String("addr", ":8723", "listen address")
+		workers  = flag.Int("workers", 0, "worker goroutines per analysis run (0/1 sequential, <0 GOMAXPROCS); results are identical at any count")
+		schedMd  = flag.String("sched", "leveled", "parallel scheduler: leveled or dep; results are identical in either mode")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before in-flight runs are cancelled")
+		maxBody  = flag.Int64("max-body", 1<<20, "request body cap in bytes")
+		cacheMax = flag.Int("cache-max", 1024, "max completed results cached (LRU eviction; negative = unbounded)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -74,7 +85,7 @@ func run() int {
 		return 2
 	}
 
-	svc := service.New(service.Config{Workers: *workers, Sched: schedSel, MaxBody: *maxBody})
+	svc := service.New(service.Config{Workers: *workers, Sched: schedSel, MaxBody: *maxBody, CacheMax: *cacheMax})
 	defer svc.Close()
 
 	// Listen before forking the serve goroutine so the real bound

@@ -12,6 +12,13 @@
 //  4. fingerprint: the 128-bit fingerprinted visited set and the exact
 //     canonical-key visited set agree on state counts and terminals.
 //
+// --edits N switches the harness to oracle 5 instead (see edits.go):
+// each seed's program becomes the base of an N-step random edit chain
+// (progen.Mutate), and every version is checked for bit-identity —
+// Result digest and deterministic counters — between from-scratch
+// analysis and six persistent incremental sessions (workers 0/1/4 ×
+// both schedulers) that carry their summary stores across the chain.
+//
 // Programs whose exploration hits the configuration cap are skipped (the
 // oracles need complete answers). On divergence the failing program is
 // delta-debugged down to a minimal reproducer (internal/progen's
@@ -64,6 +71,7 @@ type divergenceReport struct {
 type report struct {
 	BaseSeed    int64                    `json:"base_seed"`
 	Profile     string                   `json:"profile"`
+	Edits       int                      `json:"edits,omitempty"`
 	Requested   int                      `json:"requested"`
 	Ran         int                      `json:"ran"`
 	Skipped     int                      `json:"skipped_truncated"`
@@ -92,6 +100,7 @@ func main() {
 		jsonPath     = flag.String("json", "", "write the JSON report here ('-' for stdout)")
 		budget       = flag.Duration("budget", 0, "wall-clock time box (0: none)")
 		shrinkBudget = flag.Int("shrink-budget", 600, "max candidate evaluations per shrink")
+		edits        = flag.Int("edits", 0, "oracle 5: drive an N-step random edit chain per seed through incremental vs from-scratch analysis (replaces oracles 1-4)")
 		injectUns    = flag.Bool("inject-unsound", false, "self-test: corrupt the soundness oracle and expect a catch")
 		verbose      = flag.Bool("v", false, "log each program")
 	)
@@ -110,13 +119,18 @@ func main() {
 	defer stopSignals()
 
 	start := time.Now()
+	names := oracleNames
+	if *edits > 0 {
+		names = []string{"edits"}
+	}
 	rep := &report{
 		BaseSeed:  *seed,
 		Profile:   *profileName,
+		Edits:     *edits,
 		Requested: *n,
 		Oracles:   map[string]*oracleReport{},
 	}
-	for _, name := range oracleNames {
+	for _, name := range names {
 		rep.Oracles[name] = &oracleReport{}
 	}
 
@@ -137,7 +151,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "psasoak: %v\n", err)
 			os.Exit(2)
 		}
-		skipped, checked, failures := runOracles(prog, *maxConfigs, *injectUns)
+		var skipped bool
+		var checked []string
+		var failures []failure
+		if *edits > 0 {
+			skipped, checked, failures = runEditsOracle(src, s, *edits, *maxConfigs)
+		} else {
+			skipped, checked, failures = runOracles(prog, *maxConfigs, *injectUns)
+		}
 		rep.Ran++
 		if skipped {
 			rep.Skipped++
@@ -183,7 +204,7 @@ func main() {
 	case "":
 		fmt.Printf("psasoak: %d programs (%d skipped), %d divergences in %.1fs\n",
 			rep.Ran, rep.Skipped, len(rep.Divergences), rep.DurationSec)
-		for _, name := range oracleNames {
+		for _, name := range names {
 			o := rep.Oracles[name]
 			fmt.Printf("  %-12s checked=%d divergences=%d\n", name, o.Checked, o.Divergences)
 		}

@@ -37,6 +37,20 @@
 // Cancelled — the same cut shape as MaxConfigs/MaxStates truncation,
 // except never cached, since the cut point is timing-dependent.
 //
+// The abstract pipeline is also incremental: pipeline.NewIncremental
+// opens a long-lived session whose AnalyzeEdit re-analyzes each
+// submitted program version reusing everything the edit left intact —
+// an α-equivalent resubmission (rename, label edit, reformatting)
+// replays the previous result from its canonical whole-program hash
+// without re-running the fixpoint, and a real edit re-runs warm
+// against a per-procedure summary store keyed on position-independent
+// body hashes (internal/lang, abssem.SummaryStore), invalidating only
+// the edited procedures and their transitive callers. Results and
+// deterministic counters are bit-identical to a from-scratch run at
+// any worker count under either scheduler; cmd/psad exposes the
+// session via the optional "base" program-hash hint on /analyze
+// (DESIGN.md §13).
+//
 // The engines are instrumented through internal/metrics, a nil-safe
 // registry of atomic counters, per-level statistics, and phase timings
 // that costs nothing when disabled. The tools expose it via -metrics /
@@ -49,9 +63,11 @@
 // internal/progen's randomly generated programs through four
 // cross-checking oracles (abstract covers concrete, reduced equals
 // full, parallel equals sequential, fingerprints equal exact keys) and
-// shrinks any divergence to a minimal reproducer; an open-ended
-// nightly soak (.github/workflows/soak.yml) does the same on fresh
-// seeds (DESIGN.md §10).
+// shrinks any divergence to a minimal reproducer — plus a fifth,
+// edit-sequence oracle (psasoak -edits) pinning incremental
+// re-analysis against scratch over random progen.Mutate edit chains;
+// an open-ended nightly soak (.github/workflows/soak.yml) does the
+// same on fresh seeds (DESIGN.md §10).
 package psa
 
 // Version identifies the reproduction release.

@@ -1,0 +1,62 @@
+package absdom
+
+import "psa/internal/lattice"
+
+// Remapping support for the summary-based incremental analysis layer
+// (internal/abssem): heap targets embed allocation-site NodeIDs, which are
+// parse-order identities and shift whenever an edit changes the size of an
+// earlier procedure. Rebasing a cached artifact onto a re-parsed program
+// therefore rewrites every embedded target through a caller-supplied
+// translation. The translation returns ok == false when a target has no
+// counterpart in the new program; the caller drops the artifact.
+
+// RemapTargets returns v with every finite pointer target rewritten by f.
+// The ⊤ points-to set and the numeric/function/undef components pass
+// through unchanged (function indices are stable whenever the procedure
+// list is, which the caller checks before remapping anything).
+func (v Value) RemapTargets(f func(Target) (Target, bool)) (Value, bool) {
+	if v.Ptrs.All || v.Ptrs.S.Len() == 0 {
+		return v, true
+	}
+	old := v.Ptrs.S.Elems()
+	nts := make([]Target, len(old))
+	for i, t := range old {
+		nt, ok := f(t)
+		if !ok {
+			return Value{}, false
+		}
+		nts[i] = nt
+	}
+	v.Ptrs = lattice.PS(nts...)
+	return v, true
+}
+
+// Remap returns a store with every heap key and every embedded pointer
+// target rewritten by f. Global slots keep their indices (the caller
+// guarantees the global section is unchanged).
+func (s *Store) Remap(f func(Target) (Target, bool)) (*Store, bool) {
+	ns := &Store{
+		dom:     s.dom,
+		globals: make([]Value, len(s.globals)),
+		heap:    make(map[Target]Value, len(s.heap)),
+	}
+	for i, v := range s.globals {
+		nv, ok := v.RemapTargets(f)
+		if !ok {
+			return nil, false
+		}
+		ns.globals[i] = nv
+	}
+	for k, v := range s.heap {
+		nk, ok := f(k)
+		if !ok {
+			return nil, false
+		}
+		nv, ok := v.RemapTargets(f)
+		if !ok {
+			return nil, false
+		}
+		ns.heap[nk] = nv
+	}
+	return ns, true
+}

@@ -169,6 +169,7 @@ func analyzeDep(ctx context.Context, prog *lang.Program, opts Options) *Result {
 		res.Cancelled = true
 	}
 	res.collect(states, m)
+	sc.sum.publish()
 	return res
 }
 

@@ -1,0 +1,977 @@
+package abssem
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"psa/internal/absdom"
+	"psa/internal/lang"
+	"psa/internal/metrics"
+	"psa/internal/pstring"
+)
+
+// This file implements the summary substrate of the incremental analysis
+// architecture (DESIGN.md §13): a versioned, concurrently-readable cache
+// of per-visit expansions — the sc.step successors, fold signatures, and
+// footprint scratch of one worklist entry — keyed by a POSITION-
+// INDEPENDENT encoding of the entry's full abstract configuration plus
+// the transitive body hashes of every procedure the expansion can read.
+//
+// Key design points:
+//
+//   - Completeness of the key. A hit must be indistinguishable from a
+//     fresh computation, bit for bit, because the engines' merge replay
+//     is what the determinism contract pins. The key therefore covers
+//     the entire configuration (control skeleton, every lattice value,
+//     the abstract store) rendered with portable node references
+//     ("p<proc>.<ord>" via lang.NodeTable instead of parse-order
+//     NodeIDs) plus a two-tier hash footer matching exactly what one
+//     expansion can read beyond the configuration itself:
+//
+//     LOCAL tier — the procedures whose NODES appear in the
+//     configuration (frames, blocks, pending statements, procedure-
+//     string sites, heap birth sites). The step walks those bodies, so
+//     their LOCAL body hash (lang.ProgramHashes) is in the footer; an
+//     edit anywhere else leaves these entries valid, which is the whole
+//     point of incremental re-analysis (keying them transitively would
+//     invalidate every entry on any edit, since main's frames are on
+//     every stack).
+//
+//     CALL tier — the possible callees of the statements about to be
+//     stepped (the top frame's next statement of each enabled process;
+//     pending resumptions only write, they never enter a body). Entering
+//     a callee reads its declaration and body, and a call past the
+//     recursion limit havocs through the callee's TRANSITIVE static
+//     effect summary — as does splitWrite's statement summary for a
+//     statement containing calls — so these procedures contribute their
+//     transitive hash. Statically resolvable callees (VarRef of
+//     RefFunc kind) are collected from the stepped statement's
+//     expression tree; a call through a computed function value
+//     conservatively adds every procedure (mirroring the step's own
+//     top-set fallback). Function VALUES (F-sets, including F⊤) add
+//     nothing: they are indices remapped by position, the function list
+//     itself is pinned by the epoch, and a body is only read when a
+//     stepped statement calls it — which the call tier covers.
+//
+//     Everything else an expansion can observe — domain, k-limit,
+//     recursion limit, clan folding, footprint mode, the global section,
+//     the procedure list, and the whole-program sharing classification
+//     (a GLOBAL property: an edit to one procedure can flip GlobalShared
+//     for accesses in another) — is folded into the store's epoch, and a
+//     version only ever holds entries recorded under its own epoch.
+//     MaxStates and WidenAfter are deliberately absent from both: they
+//     act in the serial merge, never inside an expansion.
+//
+//   - MVCC read path. Readers never lock: SummaryStore publishes
+//     immutable versions through an atomic pointer, a run pins the
+//     current version at start (after rebasing it onto the run's
+//     program), and every lookup reads that snapshot's map. Writers
+//     (end-of-run publication, rebase) serialize on a mutex and install
+//     a fresh map copy — the Go-DB MVCC transaction idiom the ROADMAP
+//     cites, applied to analysis artifacts.
+//
+//   - Rebase-and-remap. Cached expansions embed AST pointers and
+//     NodeIDs of the program they were recorded against. When a run
+//     arrives with a different (re-parsed, possibly edited) program of
+//     the same epoch, the store drops every entry referencing a
+//     procedure whose transitive hash changed (counted as
+//     summary_invalidated) and REWRITES the survivors onto the new
+//     program's AST: function pointers, block pointers, pending-
+//     statement IDs, procedure-string sites, heap targets (allocation
+//     site + birthdate string), and destination target sets (re-sorted
+//     in the new program's native Target order, which the engines keep
+//     as a representation invariant). The rewrite is mandatory even for
+//     an α-identical program: the engines step through AST pointers and
+//     count recursion by FuncDecl pointer equality, so stale pointers
+//     would silently desynchronize the fixpoint from the program under
+//     analysis.
+//
+//   - Detached entries. The engines' serial merges never mutate an
+//     expansion's successors (joins mutate the join TARGET; inserts
+//     deep-copy), with one subtle exception: mergeDest appends to and
+//     then sorts a destination target slice IN PLACE, and deepCopy
+//     copies aDest by value, sharing the backing array. A state built
+//     from a cached successor could therefore permute the cached entry's
+//     slice. Recorded successors are deep-copied with every target slice
+//     reallocated at exact capacity (cap == len), so any later append
+//     must reallocate before the sort can run — the same hazard
+//     AConfig.joinCopy privatizes for the dependency-driven engine.
+
+// SummaryStore is a versioned cache of per-visit expansion summaries,
+// shared across abstract runs (attach via Options.Summaries). It is
+// execution-only state: wiring a store, sharing one across goroutines,
+// or starting cold never changes any Result field or deterministic
+// counter — only the perf-only summary_hit/miss/invalidated counters.
+type SummaryStore struct {
+	mu  sync.Mutex // serializes rebase and publication
+	max int
+	cur atomic.Pointer[sumVersion]
+}
+
+// DefaultSummaryMax is the entry bound a zero max selects.
+const DefaultSummaryMax = 1 << 14
+
+// NewSummaryStore builds an empty store bounded to max entries
+// (0 selects DefaultSummaryMax; negative means unbounded). Eviction is
+// least-recently-used by version number, deterministic given the access
+// history.
+func NewSummaryStore(max int) *SummaryStore {
+	if max == 0 {
+		max = DefaultSummaryMax
+	}
+	return &SummaryStore{max: max}
+}
+
+// Len reports the number of cached entries in the current version.
+func (s *SummaryStore) Len() int {
+	if v := s.cur.Load(); v != nil {
+		return len(v.entries)
+	}
+	return 0
+}
+
+// Version reports the publication counter (0 until the first run
+// publishes).
+func (s *SummaryStore) Version() int64 {
+	if v := s.cur.Load(); v != nil {
+		return v.version
+	}
+	return 0
+}
+
+// sumVersion is one immutable published version: a program, its hashes
+// and node table, the option/sharing epoch its entries were recorded
+// under, and the entry map. Readers hold a *sumVersion and never see it
+// change.
+type sumVersion struct {
+	prog    *lang.Program
+	hashes  *lang.ProgramHashes
+	table   *lang.NodeTable
+	epoch   string
+	named   bool // hash mode of this version's keys (ClanFold ⇒ named)
+	version int64
+	entries map[string]*sumEntry
+}
+
+// sumEntry is one cached expansion plus the procedure indices its key's
+// hash footer covers (the rebase invalidation set: refs at local-hash
+// strength, calls at transitive strength) and its last-use version for
+// eviction.
+type sumEntry struct {
+	ex      aExpansion
+	refs    []int
+	calls   []int
+	lastUse atomic.Int64
+}
+
+// runSummaries is one run's handle on the store: the pinned snapshot for
+// lock-free lookups and a private recording buffer published at the end
+// of the run.
+type runSummaries struct {
+	store *SummaryStore
+	snap  *sumVersion
+	m     *metrics.Registry
+
+	mu   sync.Mutex
+	recs map[string]*sumEntry
+}
+
+// summaryEpoch renders everything an expansion can observe that the
+// per-entry configuration encoding and hash footer do not: the analysis
+// options that act inside sc.step, the global section, the procedure
+// list, and the whole-program sharing classification.
+func summaryEpoch(opts Options, hashes *lang.ProgramHashes, sh *lang.Sharing) string {
+	w := sha256.New()
+	fmt.Fprintf(w, "dom=%s k=%d rec=%d clan=%t foot=%t|g=%s|f=%s|heap=%t cob=%t|",
+		opts.Domain.Name(), opts.KBirth, opts.RecLimit, opts.ClanFold,
+		opts.CollectFootprints, hashes.GlobalsDigest, hashes.FuncNamesDigest,
+		sh.HeapShared, sh.HasCobegin)
+	for _, b := range sh.GlobalShared {
+		if b {
+			w.Write([]byte{'s'})
+		} else {
+			w.Write([]byte{'-'})
+		}
+	}
+	w.Write([]byte{'|'})
+	for _, b := range sh.GlobalWritten {
+		if b {
+			w.Write([]byte{'w'})
+		} else {
+			w.Write([]byte{'-'})
+		}
+	}
+	sum := w.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+// beginRun pins a snapshot of the store rebased onto the run's program:
+// same epoch and same program pointer reuse the current version; same
+// epoch under a re-parsed program drops invalidated entries and remaps
+// survivors; an epoch change clears everything. opts must be filled.
+func (s *SummaryStore) beginRun(prog *lang.Program, opts Options, sh *lang.Sharing, m *metrics.Registry) *runSummaries {
+	hashes := lang.HashProgram(prog)
+	epoch := summaryEpoch(opts, hashes, sh)
+	named := opts.ClanFold
+
+	s.mu.Lock()
+	cur := s.cur.Load()
+	var snap *sumVersion
+	switch {
+	case cur != nil && cur.prog == prog && cur.epoch == epoch:
+		snap = cur
+	case cur == nil || cur.epoch != epoch:
+		if cur != nil {
+			m.Add(metrics.SummaryInvalidated, int64(len(cur.entries)))
+		}
+		snap = &sumVersion{
+			prog: prog, hashes: hashes, table: lang.BuildNodeTable(prog),
+			epoch: epoch, named: named,
+			version: s.nextVersion(cur), entries: map[string]*sumEntry{},
+		}
+		s.cur.Store(snap)
+	default:
+		snap = rebase(cur, prog, hashes, epoch, named, s.nextVersion(cur), m)
+		s.cur.Store(snap)
+	}
+	s.mu.Unlock()
+	return &runSummaries{store: s, snap: snap, m: m, recs: map[string]*sumEntry{}}
+}
+
+func (s *SummaryStore) nextVersion(cur *sumVersion) int64 {
+	if cur == nil {
+		return 1
+	}
+	return cur.version + 1
+}
+
+// rebase builds the version for a re-parsed program under an unchanged
+// epoch: entries whose node-bearing procedures kept their local hash and
+// whose possible callees kept their transitive hash (and node counts — a
+// structural belt-and-braces check) are remapped onto the new AST; the
+// rest are dropped and counted.
+func rebase(cur *sumVersion, prog *lang.Program, hashes *lang.ProgramHashes, epoch string, named bool, version int64, m *metrics.Registry) *sumVersion {
+	table := lang.BuildNodeTable(prog)
+	next := &sumVersion{
+		prog: prog, hashes: hashes, table: table,
+		epoch: epoch, named: named, version: version,
+		entries: make(map[string]*sumEntry, len(cur.entries)),
+	}
+	rm := &remapper{oldT: cur.table, newT: table, prog: prog}
+	dropped := int64(0)
+	for key, e := range cur.entries {
+		ok := true
+		for _, i := range e.refs {
+			if cur.hashes.Local(i, named) != hashes.Local(i, named) ||
+				cur.table.FuncNodeCount(i) != table.FuncNodeCount(i) {
+				ok = false
+				break
+			}
+		}
+		for _, i := range e.calls {
+			if !ok {
+				break
+			}
+			if cur.hashes.Transitive(i, named) != hashes.Transitive(i, named) ||
+				cur.table.FuncNodeCount(i) != table.FuncNodeCount(i) {
+				ok = false
+			}
+		}
+		if !ok {
+			dropped++
+			continue
+		}
+		nex, ok := rm.expansion(e.ex)
+		if !ok {
+			dropped++
+			continue
+		}
+		ne := &sumEntry{ex: nex, refs: e.refs, calls: e.calls}
+		ne.lastUse.Store(e.lastUse.Load())
+		next.entries[key] = ne
+	}
+	m.Add(metrics.SummaryInvalidated, dropped)
+	return next
+}
+
+// lookup serves a hit from the pinned snapshot, lock-free.
+func (h *runSummaries) lookup(key string) (aExpansion, bool) {
+	if e, ok := h.snap.entries[key]; ok {
+		e.lastUse.Store(h.snap.version)
+		h.m.Inc(metrics.SummaryHit)
+		return e.ex, true
+	}
+	h.m.Inc(metrics.SummaryMiss)
+	return aExpansion{}, false
+}
+
+// record buffers a freshly computed expansion for end-of-run
+// publication, detached from every slice the engine will keep working
+// with (see the file comment on exact-capacity target slices).
+func (h *runSummaries) record(key string, refs, calls []int, e aExpansion) {
+	de := detachExpansion(e)
+	ne := &sumEntry{ex: de, refs: refs, calls: calls}
+	ne.lastUse.Store(h.snap.version)
+	h.mu.Lock()
+	if _, dup := h.recs[key]; !dup {
+		h.recs[key] = ne
+	}
+	h.mu.Unlock()
+}
+
+// publish merges the run's recordings into the store. Entries are pure
+// functions of their key, so publication is unconditional — truncated
+// and cancelled runs recorded perfectly valid expansions for the prefix
+// they explored. Recordings are dropped when the store was rebased onto
+// a different program mid-run (their AST pointers would be stale), and
+// on key conflict the existing entry wins (both encode the same
+// expansion). Nil-safe: runs without a store publish nothing.
+func (h *runSummaries) publish() {
+	if h == nil || len(h.recs) == 0 {
+		return
+	}
+	s := h.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cur.Load()
+	if cur == nil || cur.prog != h.snap.prog || cur.epoch != h.snap.epoch {
+		return
+	}
+	entries := make(map[string]*sumEntry, len(cur.entries)+len(h.recs))
+	for k, e := range cur.entries {
+		entries[k] = e
+	}
+	added := false
+	for k, e := range h.recs {
+		if _, ok := entries[k]; !ok {
+			entries[k] = e
+			added = true
+		}
+	}
+	if !added {
+		return
+	}
+	next := &sumVersion{
+		prog: cur.prog, hashes: cur.hashes, table: cur.table,
+		epoch: cur.epoch, named: cur.named,
+		version: cur.version + 1, entries: entries,
+	}
+	evict(next, s.max)
+	s.cur.Store(next)
+}
+
+// evict trims the version to max entries, dropping least-recently-used
+// first with the key as the deterministic tie-break.
+func evict(v *sumVersion, max int) {
+	if max < 0 || len(v.entries) <= max {
+		return
+	}
+	type kv struct {
+		key string
+		use int64
+	}
+	all := make([]kv, 0, len(v.entries))
+	for k, e := range v.entries {
+		all = append(all, kv{key: k, use: e.lastUse.Load()})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].use != all[j].use {
+			return all[i].use < all[j].use
+		}
+		return all[i].key < all[j].key
+	})
+	for _, e := range all[:len(all)-max] {
+		delete(v.entries, e.key)
+	}
+}
+
+// --- Portable configuration encoding ---------------------------------------
+
+// encoder renders one configuration into the cache key. It must never
+// mutate the configuration (sorting happens in temporary copies) and
+// accumulates the two referenced procedure tiers as it goes: refs (node-
+// bearing, local-hash strength) and calls (possible callees of stepped
+// statements, transitive strength).
+type encoder struct {
+	h     *runSummaries
+	b     strings.Builder
+	refs  map[int]bool
+	calls map[int]bool
+	ok    bool
+}
+
+// encode renders cfg into a portable key and the two referenced
+// procedure tiers; ok is false when some node is outside every procedure
+// body (no portable name exists — never the case for engine-produced
+// configurations, but a lookup must fail safe, not corrupt the cache).
+// enabled is the process set the expansion will step (cfg.enabled()),
+// whose about-to-run statements determine the call tier.
+func (h *runSummaries) encode(cfg *AConfig, enabled []int) (key string, refs, calls []int, ok bool) {
+	e := &encoder{h: h, refs: map[int]bool{}, calls: map[int]bool{}, ok: true}
+	e.config(cfg)
+	for _, pi := range enabled {
+		e.stepCallees(cfg.Procs[pi])
+	}
+	if !e.ok {
+		return "", nil, nil, false
+	}
+	refs = sortedKeys(e.refs)
+	calls = sortedKeys(e.calls)
+	e.b.WriteString("|R")
+	for _, i := range refs {
+		e.b.WriteString(strconv.Itoa(i))
+		e.b.WriteByte(':')
+		e.b.WriteString(h.snap.hashes.Local(i, h.snap.named))
+		e.b.WriteByte(';')
+	}
+	e.b.WriteString("|C")
+	for _, i := range calls {
+		e.b.WriteString(strconv.Itoa(i))
+		e.b.WriteByte(':')
+		e.b.WriteString(h.snap.hashes.Transitive(i, h.snap.named))
+		e.b.WriteByte(';')
+	}
+	sum := sha256.Sum256([]byte(e.b.String()))
+	return hex.EncodeToString(sum[:16]), refs, calls, true
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// stepCallees collects the call tier for one enabled process: the
+// possible callees of the statement its expansion will execute. A
+// pending resumption only commits a buffered write — no body is read.
+// Statically resolvable callees contribute precisely; a call through a
+// computed function value falls back to every procedure, mirroring the
+// step's own ⊤-set dispatch.
+func (e *encoder) stepCallees(p *AProc) {
+	if hasPending(p) {
+		return
+	}
+	s := nextStmt(p)
+	if s == nil {
+		return
+	}
+	lang.WalkExprs(s, func(ex lang.Expr) {
+		ce, isCall := ex.(*lang.CallExpr)
+		if !isCall {
+			return
+		}
+		if vr, direct := ce.Callee.(*lang.VarRef); direct && vr.Kind == lang.RefFunc {
+			e.calls[vr.Index] = true
+			return
+		}
+		for i := range e.h.snap.prog.Funcs {
+			e.calls[i] = true
+		}
+	})
+}
+
+// ref renders a NodeID position-independently and records the owning
+// procedure.
+func (e *encoder) ref(id lang.NodeID) string {
+	o, ok := e.h.snap.table.Ord(id)
+	if !ok {
+		e.ok = false
+		return "?"
+	}
+	e.refs[o.Fn] = true
+	return "p" + strconv.Itoa(o.Fn) + "." + strconv.Itoa(o.Ord)
+}
+
+// fn renders a function reference by index. No hash tier is needed: the
+// epoch pins the function-name list (so indices are stable within a
+// version's lifetime), the remapper rewrites by index, and a body is
+// only read when a stepped statement calls it — which stepCallees keys.
+func (e *encoder) fn(f *lang.FuncDecl) {
+	e.b.WriteString("f")
+	e.b.WriteString(strconv.Itoa(f.Index))
+}
+
+// ptarget renders a pointer target portably: birthdate strings embed
+// allocation/call-site NodeIDs, which are rewritten through ref.
+func (e *encoder) ptarget(t absdom.Target) string {
+	if !t.Heap {
+		return "g" + strconv.Itoa(t.Index)
+	}
+	return "h@" + e.ref(t.Site) + "[" + e.birth(t.Birth) + "]"
+}
+
+func (e *encoder) birth(s string) string {
+	if s == "" {
+		return ""
+	}
+	parts := strings.Split(s, "·")
+	for i, p := range parts {
+		kind, site, which, ok := parseBirthSym(p)
+		if !ok {
+			e.ok = false
+			return "?"
+		}
+		parts[i] = strconv.Itoa(kind) + ":" + e.ref(lang.NodeID(site)) + ":" + strconv.Itoa(which)
+	}
+	return strings.Join(parts, "·")
+}
+
+// parseBirthSym splits one "kind:site:which" triple of a k-limited
+// birthdate (pstring.AbstractSyms format).
+func parseBirthSym(s string) (kind, site, which int, ok bool) {
+	a := strings.IndexByte(s, ':')
+	if a < 0 {
+		return 0, 0, 0, false
+	}
+	b := strings.IndexByte(s[a+1:], ':')
+	if b < 0 {
+		return 0, 0, 0, false
+	}
+	b += a + 1
+	var err error
+	if kind, err = strconv.Atoi(s[:a]); err != nil {
+		return 0, 0, 0, false
+	}
+	if site, err = strconv.Atoi(s[a+1 : b]); err != nil {
+		return 0, 0, 0, false
+	}
+	if which, err = strconv.Atoi(s[b+1:]); err != nil {
+		return 0, 0, 0, false
+	}
+	return kind, site, which, true
+}
+
+func (e *encoder) value(v absdom.Value) {
+	e.b.WriteString("n=")
+	e.b.WriteString(v.Num.String())
+	if v.Ptrs.All {
+		e.b.WriteString(",P⊤")
+	} else if v.Ptrs.S.Len() > 0 {
+		ts := v.Ptrs.S.Elems()
+		ps := make([]string, len(ts))
+		for i, t := range ts {
+			ps[i] = e.ptarget(t)
+		}
+		sort.Strings(ps)
+		e.b.WriteString(",P{" + strings.Join(ps, " ") + "}")
+	}
+	if v.Fns.All {
+		e.b.WriteString(",F⊤")
+	} else if v.Fns.S.Len() > 0 {
+		fs := v.Fns.S.Elems()
+		sort.Ints(fs)
+		e.b.WriteString(",F{")
+		for _, i := range fs {
+			e.b.WriteString(strconv.Itoa(i))
+			e.b.WriteByte(' ')
+		}
+		e.b.WriteString("}")
+	}
+	if v.Undef {
+		e.b.WriteString(",U")
+	}
+	e.b.WriteByte(';')
+}
+
+func (e *encoder) dest(d aDest) {
+	fmt.Fprintf(&e.b, "d%d.%d.%t[", d.kind, d.slot, d.all)
+	// Render the target set in portable order via a temporary copy —
+	// native Target.String() order can differ across NodeID renumberings
+	// of α-equal programs, and the encoder must never mutate the
+	// configuration it reads.
+	ps := make([]string, len(d.ts))
+	for i, t := range d.ts {
+		ps[i] = e.ptarget(t)
+	}
+	sort.Strings(ps)
+	e.b.WriteString(strings.Join(ps, " "))
+	e.b.WriteByte(']')
+}
+
+func (e *encoder) config(c *AConfig) {
+	fmt.Fprintf(&e.b, "me=%t|", c.MayError)
+	for _, p := range c.Procs {
+		fmt.Fprintf(&e.b, "P%s~%s s%d k%d c%d|", p.Path, p.Parent, p.Status, p.LiveKids, p.Clan)
+		if p.ArmBlock != nil {
+			e.b.WriteString("ab=" + e.ref(p.ArmBlock.NodeID()))
+		}
+		if p.ArmFn != nil {
+			e.b.WriteString(",af=")
+			e.fn(p.ArmFn)
+		}
+		e.b.WriteString("|il[")
+		for _, v := range p.InitLocals {
+			e.value(v)
+		}
+		e.b.WriteString("]|ps[")
+		for _, sym := range p.PStr {
+			fmt.Fprintf(&e.b, "%d:%s:%d ", sym.Kind, e.ref(lang.NodeID(sym.Site)), sym.Which)
+		}
+		e.b.WriteString("]")
+		for _, f := range p.Frames {
+			e.b.WriteString("|F")
+			e.fn(f.Fn)
+			fmt.Fprintf(&e.b, ",he=%t,", f.hasEntry)
+			e.dest(f.Dest)
+			e.b.WriteString(",b[")
+			for _, bp := range f.Blocks {
+				e.b.WriteString(e.ref(bp.block.NodeID()))
+				e.b.WriteByte('.')
+				e.b.WriteString(strconv.Itoa(bp.idx))
+				e.b.WriteByte(' ')
+			}
+			e.b.WriteString("],l[")
+			for _, v := range f.Locals {
+				e.value(v)
+			}
+			e.b.WriteString("]")
+			if f.Pending != nil {
+				e.b.WriteString(",pd{")
+				e.b.WriteString(e.ref(f.Pending.stmt))
+				fmt.Fprintf(&e.b, ",%t,", f.Pending.bump)
+				e.dest(f.Pending.dest)
+				e.b.WriteByte(',')
+				e.value(f.Pending.val)
+				e.b.WriteString("}")
+			}
+		}
+		e.b.WriteString("\n")
+	}
+	e.store(c.Store)
+}
+
+func (e *encoder) store(s *absdom.Store) {
+	e.b.WriteString("|S[")
+	for i := 0; i < s.NumGlobals(); i++ {
+		e.value(s.Global(i))
+	}
+	e.b.WriteString("][")
+	type hkv struct {
+		key string
+		t   absdom.Target
+	}
+	hts := s.HeapTargets()
+	hs := make([]hkv, len(hts))
+	for i, t := range hts {
+		hs[i] = hkv{key: e.ptarget(t), t: t}
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i].key < hs[j].key })
+	for _, h := range hs {
+		e.b.WriteString(h.key)
+		e.b.WriteByte('=')
+		e.value(s.Heap(h.t))
+	}
+	e.b.WriteString("]")
+}
+
+// --- Detach ----------------------------------------------------------------
+
+// detachExpansion deep-copies an expansion's successors for caching,
+// with every destination target slice reallocated at exact capacity so
+// later engine-side appends can never reach the cached backing arrays
+// (see the file comment). Error witnesses (Procs == nil) are rebuilt
+// explicitly: deepCopy would materialize an empty non-nil process slice
+// and silently turn the witness into a terminal state. Enabled indices,
+// fold signatures, and footprint scratch are immutable after the
+// recording step completes and are shared as-is.
+func detachExpansion(e aExpansion) aExpansion {
+	out := aExpansion{enabled: e.enabled, sigs: e.sigs, foots: e.foots}
+	out.succs = make([][]*AConfig, len(e.succs))
+	for j, list := range e.succs {
+		nl := make([]*AConfig, len(list))
+		for k, succ := range list {
+			if succ.Procs == nil {
+				nl[k] = &AConfig{Store: succ.Store, MayError: succ.MayError}
+				continue
+			}
+			nc := succ.deepCopy()
+			for _, p := range nc.Procs {
+				for _, f := range p.Frames {
+					f.Dest.ts = exactCap(f.Dest.ts)
+					if f.Pending != nil {
+						f.Pending.dest.ts = exactCap(f.Pending.dest.ts)
+					}
+				}
+			}
+			nl[k] = nc
+		}
+		out.succs[j] = nl
+	}
+	return out
+}
+
+func exactCap(ts []absdom.Target) []absdom.Target {
+	if ts == nil {
+		return nil
+	}
+	out := make([]absdom.Target, len(ts))
+	copy(out, ts)
+	return out
+}
+
+// --- Remap -----------------------------------------------------------------
+
+// remapper rewrites cached expansions from one program's AST onto
+// another's, via the position-independent node ordinals both tables
+// agree on for procedures whose bodies hash equal.
+type remapper struct {
+	oldT *lang.NodeTable
+	newT *lang.NodeTable
+	prog *lang.Program // destination
+}
+
+func (r *remapper) node(id lang.NodeID) (lang.Node, bool) {
+	o, ok := r.oldT.Ord(id)
+	if !ok {
+		return nil, false
+	}
+	n := r.newT.Node(o)
+	return n, n != nil
+}
+
+func (r *remapper) nodeID(id lang.NodeID) (lang.NodeID, bool) {
+	n, ok := r.node(id)
+	if !ok {
+		return 0, false
+	}
+	return n.NodeID(), true
+}
+
+func (r *remapper) block(b *lang.Block) (*lang.Block, bool) {
+	n, ok := r.node(b.NodeID())
+	if !ok {
+		return nil, false
+	}
+	nb, ok := n.(*lang.Block)
+	return nb, ok
+}
+
+func (r *remapper) fn(f *lang.FuncDecl) (*lang.FuncDecl, bool) {
+	if f.Index < 0 || f.Index >= len(r.prog.Funcs) {
+		return nil, false
+	}
+	return r.prog.Funcs[f.Index], true
+}
+
+func (r *remapper) target(t absdom.Target) (absdom.Target, bool) {
+	if !t.Heap {
+		return t, true
+	}
+	site, ok := r.nodeID(t.Site)
+	if !ok {
+		return absdom.Target{}, false
+	}
+	birth, ok := r.birth(t.Birth)
+	if !ok {
+		return absdom.Target{}, false
+	}
+	return absdom.Target{Heap: true, Site: site, Birth: birth}, true
+}
+
+func (r *remapper) birth(s string) (string, bool) {
+	if s == "" {
+		return "", true
+	}
+	parts := strings.Split(s, "·")
+	for i, p := range parts {
+		kind, site, which, ok := parseBirthSym(p)
+		if !ok {
+			return "", false
+		}
+		ns, ok := r.nodeID(lang.NodeID(site))
+		if !ok {
+			return "", false
+		}
+		parts[i] = strconv.Itoa(kind) + ":" + strconv.Itoa(int(ns)) + ":" + strconv.Itoa(which)
+	}
+	return strings.Join(parts, "·"), true
+}
+
+func (r *remapper) value(v absdom.Value) (absdom.Value, bool) {
+	return v.RemapTargets(r.target)
+}
+
+func (r *remapper) values(vs []absdom.Value) ([]absdom.Value, bool) {
+	if vs == nil {
+		return nil, true
+	}
+	out := make([]absdom.Value, len(vs))
+	for i, v := range vs {
+		nv, ok := r.value(v)
+		if !ok {
+			return nil, false
+		}
+		out[i] = nv
+	}
+	return out, true
+}
+
+// dest remaps a destination in place (the caller owns the copy) and
+// re-sorts the target set into the DESTINATION program's native
+// Target.String() order — the representation invariant the engines
+// maintain (destOf emits sorted sets, mergeDest re-sorts after growth),
+// which a NodeID renumbering can permute.
+func (r *remapper) dest(d *aDest) bool {
+	if len(d.ts) == 0 {
+		return true
+	}
+	nts := make([]absdom.Target, len(d.ts))
+	for i, t := range d.ts {
+		nt, ok := r.target(t)
+		if !ok {
+			return false
+		}
+		nts[i] = nt
+	}
+	sort.Slice(nts, func(i, j int) bool { return nts[i].String() < nts[j].String() })
+	d.ts = nts
+	return true
+}
+
+func (r *remapper) cfg(c *AConfig) (*AConfig, bool) {
+	nc := &AConfig{MayError: c.MayError}
+	var ok bool
+	if c.Store != nil {
+		if nc.Store, ok = c.Store.Remap(r.target); !ok {
+			return nil, false
+		}
+	}
+	if c.Procs == nil {
+		return nc, true
+	}
+	nc.Procs = make([]*AProc, len(c.Procs))
+	for i, p := range c.Procs {
+		np := &AProc{
+			Path: p.Path, Status: p.Status, Parent: p.Parent,
+			LiveKids: p.LiveKids, Clan: p.Clan,
+		}
+		if p.ArmBlock != nil {
+			if np.ArmBlock, ok = r.block(p.ArmBlock); !ok {
+				return nil, false
+			}
+		}
+		if p.ArmFn != nil {
+			if np.ArmFn, ok = r.fn(p.ArmFn); !ok {
+				return nil, false
+			}
+		}
+		if np.InitLocals, ok = r.values(p.InitLocals); !ok {
+			return nil, false
+		}
+		np.PStr = make([]pstring.Sym, len(p.PStr))
+		for j, sym := range p.PStr {
+			site, ok := r.nodeID(lang.NodeID(sym.Site))
+			if !ok {
+				return nil, false
+			}
+			sym.Site = int(site)
+			np.PStr[j] = sym
+		}
+		np.Frames = make([]*AFrame, len(p.Frames))
+		for j, f := range p.Frames {
+			nf := &AFrame{Dest: f.Dest, hasEntry: f.hasEntry}
+			if nf.Fn, ok = r.fn(f.Fn); !ok {
+				return nil, false
+			}
+			if nf.Locals, ok = r.values(f.Locals); !ok {
+				return nil, false
+			}
+			nf.Dest.ts = exactCap(f.Dest.ts)
+			if !r.dest(&nf.Dest) {
+				return nil, false
+			}
+			nf.Blocks = make([]blockPos, len(f.Blocks))
+			for k, bp := range f.Blocks {
+				nb, ok := r.block(bp.block)
+				if !ok || bp.idx > len(nb.Stmts) {
+					return nil, false
+				}
+				nf.Blocks[k] = blockPos{block: nb, idx: bp.idx}
+			}
+			if f.Pending != nil {
+				pc := *f.Pending
+				if pc.stmt, ok = r.nodeID(f.Pending.stmt); !ok {
+					return nil, false
+				}
+				pc.dest.ts = exactCap(f.Pending.dest.ts)
+				if !r.dest(&pc.dest) {
+					return nil, false
+				}
+				if pc.val, ok = r.value(f.Pending.val); !ok {
+					return nil, false
+				}
+				nf.Pending = &pc
+			}
+			np.Frames[j] = nf
+		}
+		nc.Procs[i] = np
+	}
+	return nc, true
+}
+
+func (r *remapper) foot(fr *footRec) (*footRec, bool) {
+	if fr == nil {
+		return nil, true
+	}
+	nf := &footRec{m: make(map[lang.NodeID]map[AbsAccess]bool, len(fr.m))}
+	for stmt, accs := range fr.m {
+		ns, ok := r.nodeID(stmt)
+		if !ok {
+			return nil, false
+		}
+		nm := make(map[AbsAccess]bool, len(accs))
+		for acc := range accs {
+			nt, ok := r.target(acc.Target)
+			if !ok {
+				return nil, false
+			}
+			acc.Target = nt
+			nm[acc] = true
+		}
+		nf.m[ns] = nm
+	}
+	return nf, true
+}
+
+// expansion remaps one cached expansion: successors, recomputed fold
+// signatures (signatures embed block NodeIDs, so they must be re-derived
+// from the remapped configurations), and footprint scratch.
+func (r *remapper) expansion(e aExpansion) (aExpansion, bool) {
+	out := aExpansion{enabled: e.enabled}
+	out.succs = make([][]*AConfig, len(e.succs))
+	out.sigs = make([][]ctrlSig, len(e.sigs))
+	out.foots = make([]*footRec, len(e.foots))
+	for j, list := range e.succs {
+		nl := make([]*AConfig, len(list))
+		ns := make([]ctrlSig, len(list))
+		for k, succ := range list {
+			nc, ok := r.cfg(succ)
+			if !ok {
+				return aExpansion{}, false
+			}
+			nl[k] = nc
+			if nc.Procs != nil {
+				ns[k] = nc.signature()
+			}
+		}
+		out.succs[j] = nl
+		out.sigs[j] = ns
+	}
+	for j, fr := range e.foots {
+		nf, ok := r.foot(fr)
+		if !ok {
+			return aExpansion{}, false
+		}
+		out.foots[j] = nf
+	}
+	return out, true
+}

@@ -1,0 +1,214 @@
+package abssem
+
+import (
+	"testing"
+
+	"psa/internal/lang"
+	"psa/internal/metrics"
+	"psa/internal/sched"
+)
+
+// A workload exercising calls, recursion past the limit, cobegin arms,
+// heap allocation, and indirect calls — every construct whose expansion
+// the summary cache must key correctly.
+const sumSrc = `
+var g = 0;
+var h = 0;
+
+func bump(x) {
+  g = g + x;
+}
+
+func rec(n) {
+  if n > 0 {
+    rec(n - 1);
+  }
+  h = h + 1;
+}
+
+func main() {
+  var p = malloc(1);
+  *p = 5;
+  cobegin {
+    bump(1);
+    rec(4);
+  } || {
+    bump(2);
+  } coend
+  g = g + *p;
+}
+`
+
+const sumSrcEdited = `
+var g = 0;
+var h = 0;
+
+func bump(x) {
+  g = g + x + 1;
+}
+
+func rec(n) {
+  if n > 0 {
+    rec(n - 1);
+  }
+  h = h + 1;
+}
+
+func main() {
+  var p = malloc(1);
+  *p = 5;
+  cobegin {
+    bump(1);
+    rec(4);
+  } || {
+    bump(2);
+  } coend
+  g = g + *p;
+}
+`
+
+func sumOpts(workers int, dep bool, store *SummaryStore, m *metrics.Registry) Options {
+	o := Options{Workers: workers, CollectFootprints: true, Summaries: store, Metrics: m}
+	if dep {
+		o.Sched = sched.DepDriven
+	}
+	return o
+}
+
+func TestSummaryBitIdenticalColdWarmAndEdited(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+		dep     bool
+	}{
+		{"seq", 0, false},
+		{"leveled4", 4, false},
+		{"dep4", 4, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := lang.MustParse(sumSrc)
+			want := Analyze(prog, sumOpts(tc.workers, tc.dep, nil, nil)).Digest()
+
+			store := NewSummaryStore(0)
+			m := metrics.New()
+			cold := Analyze(prog, sumOpts(tc.workers, tc.dep, store, m)).Digest()
+			if cold != want {
+				t.Fatalf("cold cached run diverged: %s vs %s", cold, want)
+			}
+			if m.Get(metrics.SummaryMiss) == 0 {
+				t.Fatalf("cold run recorded no misses; cache not wired")
+			}
+
+			m2 := metrics.New()
+			warm := Analyze(prog, sumOpts(tc.workers, tc.dep, store, m2)).Digest()
+			if warm != want {
+				t.Fatalf("warm cached run diverged: %s vs %s", warm, want)
+			}
+			if m2.Get(metrics.SummaryHit) == 0 {
+				t.Fatalf("warm run on identical program had no hits")
+			}
+
+			// Re-parse the SAME source: every NodeID is reassigned, but
+			// nothing changed semantically — the rebase must remap, not
+			// drop, and the result must match a scratch analysis.
+			reparsed := lang.MustParse(sumSrc)
+			wantRe := Analyze(reparsed, sumOpts(tc.workers, tc.dep, nil, nil)).Digest()
+			m3 := metrics.New()
+			re := Analyze(reparsed, sumOpts(tc.workers, tc.dep, store, m3)).Digest()
+			if re != wantRe {
+				t.Fatalf("rebased run diverged: %s vs %s", re, wantRe)
+			}
+			if m3.Get(metrics.SummaryInvalidated) != 0 {
+				t.Fatalf("no-op reparse invalidated %d summaries", m3.Get(metrics.SummaryInvalidated))
+			}
+			if m3.Get(metrics.SummaryHit) == 0 {
+				t.Fatalf("rebased run on identical program had no hits")
+			}
+
+			// A real edit to bump: entries referencing it (and its
+			// callers' visits) must invalidate; the result must match a
+			// scratch analysis of the edited program.
+			edited := lang.MustParse(sumSrcEdited)
+			wantEd := Analyze(edited, sumOpts(tc.workers, tc.dep, nil, nil)).Digest()
+			m4 := metrics.New()
+			ed := Analyze(edited, sumOpts(tc.workers, tc.dep, store, m4)).Digest()
+			if ed != wantEd {
+				t.Fatalf("post-edit cached run diverged: %s vs %s", ed, wantEd)
+			}
+			if m4.Get(metrics.SummaryInvalidated) == 0 {
+				t.Fatalf("editing bump invalidated nothing")
+			}
+		})
+	}
+}
+
+func TestSummaryEpochChangeClears(t *testing.T) {
+	prog := lang.MustParse(sumSrc)
+	store := NewSummaryStore(0)
+	Analyze(prog, Options{Summaries: store})
+	if store.Len() == 0 {
+		t.Fatal("first run cached nothing")
+	}
+	// A different k-limit is a different epoch: everything clears, and
+	// the run still matches scratch.
+	m := metrics.New()
+	want := Analyze(prog, Options{KBirth: 1}).Digest()
+	got := Analyze(prog, Options{KBirth: 1, Summaries: store, Metrics: m}).Digest()
+	if got != want {
+		t.Fatalf("post-epoch-change run diverged")
+	}
+	if m.Get(metrics.SummaryInvalidated) == 0 {
+		t.Fatal("epoch change invalidated nothing")
+	}
+}
+
+func TestSummaryClanFoldUsesNamedHashes(t *testing.T) {
+	// Renaming a local is semantically neutral WITHOUT clan folding, but
+	// WITH it the rename can regroup textually-identical arms, so the
+	// named hash mode must govern invalidation. Both cached runs must
+	// match their scratch counterparts either way.
+	a := `var g = 0;
+func main() { cobegin { var x = 1; g = g + x; } || { var x = 1; g = g + x; } coend }`
+	b := `var g = 0;
+func main() { cobegin { var x = 1; g = g + x; } || { var y = 1; g = g + y; } coend }`
+	store := NewSummaryStore(0)
+	pa := lang.MustParse(a)
+	if got, want := Analyze(pa, Options{ClanFold: true, Summaries: store}).Digest(),
+		Analyze(pa, Options{ClanFold: true}).Digest(); got != want {
+		t.Fatalf("clan run A diverged")
+	}
+	pb := lang.MustParse(b)
+	if got, want := Analyze(pb, Options{ClanFold: true, Summaries: store}).Digest(),
+		Analyze(pb, Options{ClanFold: true}).Digest(); got != want {
+		t.Fatalf("clan run B diverged (rename must invalidate under ClanFold)")
+	}
+}
+
+func TestSummaryStoreEviction(t *testing.T) {
+	prog := lang.MustParse(sumSrc)
+	store := NewSummaryStore(8)
+	Analyze(prog, Options{Summaries: store})
+	if n := store.Len(); n > 8 {
+		t.Fatalf("store holds %d entries, max 8", n)
+	}
+	if store.Version() == 0 {
+		t.Fatal("nothing was ever published")
+	}
+	// Eviction must not corrupt later runs.
+	want := Analyze(prog, Options{}).Digest()
+	if got := Analyze(prog, Options{Summaries: store}).Digest(); got != want {
+		t.Fatalf("evicting store diverged")
+	}
+}
+
+func TestReuseResult(t *testing.T) {
+	prog := lang.MustParse(sumSrc)
+	res := Analyze(prog, Options{CollectFootprints: true})
+	re := ReuseResult(res, lang.MustParse(sumSrc))
+	if re.Digest() != res.Digest() {
+		t.Fatalf("reused result digests differ")
+	}
+	if got, want := re.String(), res.String(); got != want {
+		t.Fatalf("reused result renders differently: %s vs %s", got, want)
+	}
+}

@@ -92,6 +92,13 @@ type Analyzer struct {
 
 	collectors map[string]*analysis.Collector
 	abstracts  map[string]*abssem.Result
+
+	// inc is the analyzer's incremental abstract session (AnalyzeEdit);
+	// incKey is the abstract options key it was built for. On an options
+	// change the session is rebuilt around the SAME summary store — the
+	// store's epoch check clears or keeps entries as appropriate.
+	inc    *pipeline.Incremental
+	incKey string
 }
 
 // Parse builds an Analyzer from source text.
@@ -271,6 +278,42 @@ func (a *Analyzer) AbstractWith(opts AbstractOptions) *AbstractResult {
 			a.abstracts = make(map[string]*abssem.Result)
 		}
 		a.abstracts[key] = res
+	}
+	return res
+}
+
+// AnalyzeEdit re-targets the analyzer at an edited version of its
+// program and returns the abstract result for the new version, reusing
+// as much of the previous version's work as the edit allows: procedures
+// whose canonical body hashes (and, for callees, transitive hashes) are
+// unchanged keep their cached expansion summaries, and an α-equivalent
+// edit (e.g. a local rename, without clan folding) skips the fixpoint
+// entirely (see pipeline.Incremental). The result is bit-identical to a
+// from-scratch analysis of newProg under the current configuration.
+//
+// The analyzer's program becomes newProg: subsequent Collect/Abstract/
+// application queries answer for the new version (their per-program
+// caches are reset; the returned result seeds the abstract cache).
+func (a *Analyzer) AnalyzeEdit(newProg *lang.Program) *AbstractResult {
+	key := pipeline.AbstractKey(a.opts.AbstractOptions())
+	if a.inc == nil || a.incKey != key {
+		var store *abssem.SummaryStore
+		if a.inc != nil {
+			store = a.inc.SummaryStore()
+		}
+		a.inc = pipeline.NewIncrementalWithStore(a.runOptions(), nil, store)
+		a.incKey = key
+	} else {
+		// Same result-relevant options: refresh the execution-only fields
+		// (pool, metrics) the session threads into its runs.
+		a.inc.Configure(a.runOptions())
+	}
+	res := a.inc.AnalyzeEditContext(a.context(), newProg)
+	a.Prog = newProg
+	a.collectors = nil
+	a.abstracts = nil
+	if !res.Cancelled {
+		a.abstracts = map[string]*abssem.Result{key: res}
 	}
 	return res
 }

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"psa/internal/lang"
+	"psa/internal/metrics"
+)
+
+const editBase = `
+var g = 0;
+
+func bump(x) {
+  g = g + x;
+}
+
+func main() {
+  cobegin {
+    bump(1);
+  } || {
+    bump(2);
+  } coend
+}
+`
+
+const editChanged = `
+var g = 0;
+
+func bump(x) {
+  g = g + x + 1;
+}
+
+func main() {
+  cobegin {
+    bump(1);
+  } || {
+    bump(2);
+  } coend
+}
+`
+
+func TestAnalyzeEditBitIdenticalAndRetargets(t *testing.T) {
+	a, err := Parse(editBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := metrics.New()
+	a.Configure(RunOptions{Metrics: m})
+	first := a.AnalyzeEdit(a.Prog)
+	if first.Digest() != FromProgram(lang.MustParse(editBase)).Abstract().Digest() {
+		t.Fatal("first AnalyzeEdit diverged from scratch")
+	}
+
+	edited := lang.MustParse(editChanged)
+	res := a.AnalyzeEdit(edited)
+	want := FromProgram(lang.MustParse(editChanged)).Abstract()
+	if res.Digest() != want.Digest() {
+		t.Fatal("post-edit AnalyzeEdit diverged from scratch")
+	}
+	if a.Prog != edited {
+		t.Fatal("AnalyzeEdit did not retarget the analyzer")
+	}
+	// The returned result seeds the abstract cache for the new program.
+	hits := m.Get(metrics.AnalysisCacheHit)
+	if got := a.Abstract(); got != res {
+		t.Fatal("Abstract() after AnalyzeEdit recomputed instead of serving the seeded result")
+	}
+	if m.Get(metrics.AnalysisCacheHit) != hits+1 {
+		t.Fatal("Abstract() after AnalyzeEdit was not a cache hit")
+	}
+	// Collector queries answer for the NEW program.
+	if deps := a.Dependences(); deps == nil && a.Prog != edited {
+		t.Fatal("collector not rebuilt for edited program")
+	}
+}
+
+func TestAnalyzeEditNoOpFastPath(t *testing.T) {
+	a, err := Parse(editBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := metrics.New()
+	a.Configure(RunOptions{Metrics: m})
+	a.AnalyzeEdit(a.Prog)
+	visits := m.Get(metrics.AbsVisits)
+	a.AnalyzeEdit(lang.MustParse(editBase))
+	if m.Get(metrics.AbsVisits) != 2*visits {
+		t.Fatalf("no-op edit did not replay counters: %d vs %d", m.Get(metrics.AbsVisits), 2*visits)
+	}
+	if m.Get(metrics.AnalysisCacheHit) == 0 {
+		t.Fatal("no-op edit missed the fast path")
+	}
+}

@@ -1,0 +1,462 @@
+package lang
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+)
+
+// This file defines the canonical, position-independent procedure hashes
+// the summary-based incremental analysis layer (internal/abssem,
+// internal/pipeline) keys on, plus the NodeTable that names AST nodes by
+// (procedure index, traversal ordinal) instead of by NodeID — the two
+// ingredients that let analysis artifacts survive a re-parse of an edited
+// program.
+//
+// Two hash modes exist per procedure:
+//
+//   - the α-renamed hash ("alpha") identifies bodies up to renaming of
+//     params and locals: locals are rendered by their resolver-assigned
+//     frame slot, so "var a = 1; g = a" and "var b = 1; g = b" hash
+//     equal. Globals and procedures are rendered by name (renaming those
+//     is a semantic change: it rebinds references program-wide).
+//   - the name-sensitive hash ("named") additionally folds in declared
+//     parameter and local names. Clan folding (§6.2) groups cobegin arms
+//     by their rendered TEXT, which includes local names, so analyses run
+//     with ClanFold must key on the named mode.
+//
+// Statement labels are excluded from BOTH modes: no engine result depends
+// on them (they only name statements for queries), so a label edit is a
+// no-op edit.
+//
+// The transitive hash folds the callee hashes of every procedure referred
+// to BY NAME (calls and first-class uses alike) into the referrer,
+// iterated |funcs| times so a change anywhere in the static call graph —
+// including through recursion cycles — reaches every transitive caller.
+
+// ProgramHashes carries every canonical digest of one resolved program.
+// Slices are indexed by FuncDecl.Index.
+type ProgramHashes struct {
+	// Alpha and Named are the per-procedure local body hashes in the two
+	// modes (see the file comment).
+	Alpha []string
+	Named []string
+	// AlphaTrans and NamedTrans fold each procedure's transitive callees
+	// (by name) into its local hash: a procedure's transitive hash changes
+	// iff its own body or any body reachable from it by name changed.
+	AlphaTrans []string
+	NamedTrans []string
+	// GlobalsDigest covers the global declarations: names, initializers,
+	// and order (global indices embed in analysis artifacts, so order
+	// matters).
+	GlobalsDigest string
+	// FuncNamesDigest covers the procedure name list in declaration order
+	// (function indices embed in analysis artifacts too).
+	FuncNamesDigest string
+
+	progAlpha string
+	progNamed string
+}
+
+// ProgramHash returns the whole-program digest in the requested mode: it
+// covers the globals section, the procedure list, and every body, so two
+// programs with equal hashes are α-equivalent (named == false) or
+// identical up to labels and formatting (named == true).
+func (h *ProgramHashes) ProgramHash(named bool) string {
+	if named {
+		return h.progNamed
+	}
+	return h.progAlpha
+}
+
+// Local returns procedure i's local body hash in the requested mode.
+func (h *ProgramHashes) Local(i int, named bool) string {
+	if named {
+		return h.Named[i]
+	}
+	return h.Alpha[i]
+}
+
+// Transitive returns procedure i's callee-folded hash in the requested
+// mode.
+func (h *ProgramHashes) Transitive(i int, named bool) string {
+	if named {
+		return h.NamedTrans[i]
+	}
+	return h.AlphaTrans[i]
+}
+
+// HashProgram computes every canonical digest of a resolved program.
+func HashProgram(p *Program) *ProgramHashes {
+	n := len(p.Funcs)
+	h := &ProgramHashes{
+		Alpha: make([]string, n),
+		Named: make([]string, n),
+	}
+	callees := make([][]string, n)
+	hw := &hashWriter{callees: map[string]bool{}}
+	for i, f := range p.Funcs {
+		hw.reset()
+		hw.fn(f)
+		h.Alpha[i], h.Named[i] = hw.sums()
+		callees[i] = hw.calleeNames()
+	}
+
+	var buf []byte
+	for _, g := range p.Globals {
+		buf = append(buf, g.Name...)
+		buf = append(buf, '=')
+		buf = strconv.AppendInt(buf, g.Init, 10)
+		buf = append(buf, ';')
+	}
+	h.GlobalsDigest = digest(buf)
+	buf = buf[:0]
+	for _, f := range p.Funcs {
+		buf = append(buf, f.Name...)
+		buf = append(buf, '/')
+		buf = strconv.AppendInt(buf, int64(len(f.Params)), 10)
+		buf = append(buf, ';')
+	}
+	h.FuncNamesDigest = digest(buf)
+
+	h.AlphaTrans = transitive(p, h.Alpha, callees)
+	h.NamedTrans = transitive(p, h.Named, callees)
+
+	ph := func(local []string) string {
+		buf = append(buf[:0], "prog|"...)
+		buf = append(buf, h.GlobalsDigest...)
+		buf = append(buf, '|')
+		buf = append(buf, h.FuncNamesDigest...)
+		for i, f := range p.Funcs {
+			buf = append(buf, '|')
+			buf = append(buf, f.Name...)
+			buf = append(buf, ':')
+			buf = append(buf, local[i]...)
+		}
+		return digest(buf)
+	}
+	h.progAlpha = ph(h.Alpha)
+	h.progNamed = ph(h.Named)
+	return h
+}
+
+// transitive iterates the callee fold |funcs| times: after k rounds a
+// procedure's hash covers every body reachable within k name-edges, and a
+// change can only propagate one edge per round, so |funcs| rounds reach a
+// fixed label for every edit — including through recursion cycles, where
+// the labels keep evolving but deterministically, identically for
+// identical programs. A round that changes no label is a fixed point
+// (every later round would reproduce it verbatim), so the loop exits
+// early then — on acyclic call graphs that is after call-depth rounds,
+// not |funcs|.
+func transitive(p *Program, local []string, callees [][]string) []string {
+	type edge struct {
+		name string
+		j    int
+	}
+	resolved := make([][]edge, len(callees))
+	for i, names := range callees {
+		for _, name := range names {
+			if j, ok := p.funcIndex[name]; ok {
+				resolved[i] = append(resolved[i], edge{name, j})
+			}
+		}
+	}
+	cur := append([]string(nil), local...)
+	next := make([]string, len(local))
+	var buf []byte
+	for round := 0; round < len(p.Funcs); round++ {
+		changed := false
+		for i := range p.Funcs {
+			buf = append(buf[:0], "t|"...)
+			buf = append(buf, local[i]...)
+			for _, e := range resolved[i] {
+				buf = append(buf, '|')
+				buf = append(buf, e.name...)
+				buf = append(buf, '=')
+				buf = append(buf, cur[e.j]...)
+			}
+			next[i] = digest(buf)
+			changed = changed || next[i] != cur[i]
+		}
+		cur, next = next, cur
+		if !changed {
+			break
+		}
+	}
+	return cur
+}
+
+func digest(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// hashWriter accumulates one procedure's canonical rendering for the two
+// hash modes: structural tokens go to both buffers, declared names only
+// to the name-sensitive one. Buffering the rendering and hashing once in
+// sums keeps the hot path (HashProgram runs on every incremental
+// submission) free of per-token hash.Write calls and conversions.
+type hashWriter struct {
+	alpha   []byte
+	named   []byte
+	callees map[string]bool
+}
+
+func (w *hashWriter) reset() {
+	w.alpha = w.alpha[:0]
+	w.named = w.named[:0]
+	for name := range w.callees {
+		delete(w.callees, name)
+	}
+}
+
+func (w *hashWriter) sums() (alpha, named string) {
+	return digest(w.alpha), digest(w.named)
+}
+
+func (w *hashWriter) calleeNames() []string {
+	out := make([]string, 0, len(w.callees))
+	for name := range w.callees {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (w *hashWriter) emit(s string) {
+	w.alpha = append(w.alpha, s...)
+	w.named = append(w.named, s...)
+}
+
+func (w *hashWriter) emitNamed(s string) {
+	w.named = append(w.named, s...)
+}
+
+func (w *hashWriter) fn(f *FuncDecl) {
+	w.emit("func/" + strconv.Itoa(len(f.Params)))
+	for _, p := range f.Params {
+		w.emitNamed("," + p)
+	}
+	w.block(f.Body)
+}
+
+func (w *hashWriter) block(b *Block) {
+	if b == nil {
+		w.emit("∅")
+		return
+	}
+	w.emit("{")
+	for _, s := range b.Stmts {
+		w.stmt(s)
+	}
+	w.emit("}")
+}
+
+func (w *hashWriter) stmt(s Stmt) {
+	// Labels are deliberately NOT emitted; see the file comment.
+	switch s := s.(type) {
+	case *VarStmt:
+		w.emit("var/" + strconv.Itoa(s.Slot) + "=")
+		w.emitNamed("n:" + s.Name)
+		w.expr(s.Init)
+	case *AssignStmt:
+		w.emit("asn:")
+		w.expr(s.Target)
+		w.emit("=")
+		w.expr(s.Value)
+	case *CallStmt:
+		w.emit("cst:")
+		w.expr(s.Call)
+	case *CobeginStmt:
+		w.emit("cobegin/" + strconv.Itoa(len(s.Arms)))
+		for _, arm := range s.Arms {
+			w.block(arm)
+		}
+		w.emit("coend")
+	case *IfStmt:
+		w.emit("if:")
+		w.expr(s.Cond)
+		w.block(s.Then)
+		if s.Else != nil {
+			w.emit("else")
+			w.block(s.Else)
+		}
+	case *WhileStmt:
+		w.emit("while:")
+		w.expr(s.Cond)
+		w.block(s.Body)
+	case *ReturnStmt:
+		if s.Value != nil {
+			w.emit("ret:")
+			w.expr(s.Value)
+		} else {
+			w.emit("ret")
+		}
+	case *SkipStmt:
+		w.emit("skip")
+	case *AssertStmt:
+		w.emit("assert:")
+		w.expr(s.Cond)
+	case *FreeStmt:
+		w.emit("free:")
+		w.expr(s.Ptr)
+	default:
+		w.emit("?stmt")
+	}
+	w.emit(";")
+}
+
+func (w *hashWriter) expr(e Expr) {
+	switch e := e.(type) {
+	case nil:
+		w.emit("∅")
+	case *IntLit:
+		w.emit("i" + strconv.FormatInt(e.Value, 10))
+	case *VarRef:
+		switch e.Kind {
+		case RefLocal:
+			// α-mode identity is the resolver slot, which is assigned in
+			// declaration order and never reused, so it is independent of
+			// the chosen names.
+			w.emit("l" + strconv.Itoa(e.Index))
+			w.emitNamed(":" + e.Name)
+		case RefGlobal:
+			w.emit("g:" + e.Name)
+		case RefFunc:
+			w.emit("f:" + e.Name)
+			w.callees[e.Name] = true
+		default:
+			w.emit("?ref")
+		}
+	case *UnaryExpr:
+		w.emit("u" + strconv.Itoa(int(e.Op)) + "(")
+		w.expr(e.X)
+		w.emit(")")
+	case *DerefExpr:
+		w.emit("*(")
+		w.expr(e.Ptr)
+		w.emit(")")
+	case *AddrExpr:
+		w.emit("&" + e.Name)
+	case *BinaryExpr:
+		w.emit("b" + strconv.Itoa(int(e.Op)) + "(")
+		w.expr(e.X)
+		w.emit(",")
+		w.expr(e.Y)
+		w.emit(")")
+	case *CallExpr:
+		w.emit("c/" + strconv.Itoa(len(e.Args)) + "(")
+		w.expr(e.Callee)
+		for _, a := range e.Args {
+			w.emit(",")
+			w.expr(a)
+		}
+		w.emit(")")
+	case *MallocExpr:
+		w.emit("m(")
+		w.expr(e.Count)
+		w.emit(")")
+	default:
+		w.emit("?expr")
+	}
+}
+
+// NodeOrd names an AST node position-independently: the index of the
+// procedure that contains it and the node's ordinal in the canonical
+// traversal of that procedure's subtree. Two programs whose procedure i
+// hashes equal assign the same ordinals to corresponding nodes, so a
+// NodeOrd computed against one program resolves against the other.
+type NodeOrd struct {
+	Fn  int
+	Ord int
+}
+
+// NodeTable maps between NodeIDs (parse-order identities, which shift
+// whenever an earlier procedure changes size) and NodeOrds (stable under
+// any edit outside the owning procedure). Build one per program with
+// BuildNodeTable.
+type NodeTable struct {
+	ords  map[NodeID]NodeOrd
+	nodes [][]Node // [func index][ordinal]
+}
+
+// BuildNodeTable enumerates every node under every procedure of a
+// program in the canonical traversal order.
+func BuildNodeTable(p *Program) *NodeTable {
+	t := &NodeTable{
+		ords:  make(map[NodeID]NodeOrd),
+		nodes: make([][]Node, len(p.Funcs)),
+	}
+	for i, f := range p.Funcs {
+		var list []Node
+		walkFuncNodes(f, func(n Node) {
+			t.ords[n.NodeID()] = NodeOrd{Fn: i, Ord: len(list)}
+			list = append(list, n)
+		})
+		t.nodes[i] = list
+	}
+	return t
+}
+
+// Ord returns the position-independent name of the node with the given
+// ID (ok == false for IDs outside every procedure body, e.g. globals).
+func (t *NodeTable) Ord(id NodeID) (NodeOrd, bool) {
+	o, ok := t.ords[id]
+	return o, ok
+}
+
+// Node resolves a position-independent name against this table's program
+// (nil when out of range).
+func (t *NodeTable) Node(o NodeOrd) Node {
+	if o.Fn < 0 || o.Fn >= len(t.nodes) || o.Ord < 0 || o.Ord >= len(t.nodes[o.Fn]) {
+		return nil
+	}
+	return t.nodes[o.Fn][o.Ord]
+}
+
+// FuncNodeCount returns the number of nodes under procedure i — equal
+// counts are a cheap structural sanity check before remapping artifacts
+// between two programs whose procedure hashes match.
+func (t *NodeTable) FuncNodeCount(i int) int {
+	if i < 0 || i >= len(t.nodes) {
+		return 0
+	}
+	return len(t.nodes[i])
+}
+
+// walkFuncNodes visits every node of a procedure subtree in canonical
+// order: the declaration, then each block (block node first, then its
+// statements; per statement the expressions in evaluation-source order,
+// then nested blocks).
+func walkFuncNodes(f *FuncDecl, visit func(Node)) {
+	visit(f)
+	walkBlockNodes(f.Body, visit)
+}
+
+func walkBlockNodes(b *Block, visit func(Node)) {
+	if b == nil {
+		return
+	}
+	visit(b)
+	for _, s := range b.Stmts {
+		walkStmtNodes(s, visit)
+	}
+}
+
+func walkStmtNodes(s Stmt, visit func(Node)) {
+	visit(s)
+	WalkExprs(s, func(e Expr) { visit(e) })
+	switch s := s.(type) {
+	case *CobeginStmt:
+		for _, arm := range s.Arms {
+			walkBlockNodes(arm, visit)
+		}
+	case *IfStmt:
+		walkBlockNodes(s.Then, visit)
+		walkBlockNodes(s.Else, visit)
+	case *WhileStmt:
+		walkBlockNodes(s.Body, visit)
+	}
+}

@@ -101,6 +101,15 @@ const (
 	// on scheduling and are perf-only.
 	DepMergeWaits
 	AbsDepMergeWaits
+	// SummaryHit / SummaryMiss count procedure-summary cache lookups
+	// during abstract runs wired to an abssem.SummaryStore;
+	// SummaryInvalidated counts cached summaries dropped when the store
+	// rebased onto an edited program. All three are perf-only: hit rates
+	// depend on cache warmth and edit history, never on the result (the
+	// summary layer's bit-identity contract).
+	SummaryHit
+	SummaryMiss
+	SummaryInvalidated
 	numCounters
 )
 
@@ -129,6 +138,9 @@ var counterNames = [numCounters]string{
 	AnalysisCacheMiss:    "analysis_cache_miss",
 	DepMergeWaits:        "dep_merge_waits",
 	AbsDepMergeWaits:     "abs_dep_merge_waits",
+	SummaryHit:           "summary_hit",
+	SummaryMiss:          "summary_miss",
+	SummaryInvalidated:   "summary_invalidated",
 }
 
 // PerfOnly reports whether the counter measures implementation effort
@@ -139,10 +151,21 @@ func (c Counter) PerfOnly() bool {
 	switch c {
 	case EncPoolHit, EncPoolMiss, FrontierSteals, AbsSteals, AbsStaleRecomputes,
 		PipelineFusedSinks, AnalysisCacheHit, AnalysisCacheMiss,
-		DepMergeWaits, AbsDepMergeWaits:
+		DepMergeWaits, AbsDepMergeWaits,
+		SummaryHit, SummaryMiss, SummaryInvalidated:
 		return true
 	}
 	return false
+}
+
+// EachCounter calls f for every defined counter in declaration order —
+// the iteration callers outside this package use to snapshot or replay
+// counter sets (e.g. the incremental pipeline's deterministic-counter
+// capture) without depending on the private counter bound.
+func EachCounter(f func(Counter)) {
+	for c := Counter(0); c < numCounters; c++ {
+		f(c)
+	}
 }
 
 // String returns the snake_case snapshot key of the counter.

@@ -24,6 +24,22 @@
 // change results and exclude the execution-only fields (Workers, Sched,
 // Pool, Metrics) that the engines' determinism contract guarantees never
 // do.
+//
+// # Key stability contract
+//
+// The strings Key and AbstractKey return are STABLE ACROSS RELEASES:
+// callers persist them (the service's completed-result cache, saved
+// experiment manifests) and compare them across process generations, so
+// the rendering of the existing fields must never change. Extending
+// either key for a new result-relevant option must append a new
+// "name=value" field whose zero value reproduces today's semantics —
+// never rename, reorder, or re-encode the fields already present.
+// TestKeyGolden pins the exact strings; a failing golden test means a
+// breaking cache-key change, not a test to update casually.
+//
+// For incremental re-analysis of edited program versions, Incremental
+// (see incremental.go) wraps the abstract engine's summary store with a
+// whole-program fast path; core.Analyzer.AnalyzeEdit builds on it.
 package pipeline
 
 import (

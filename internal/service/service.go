@@ -26,9 +26,23 @@
 //     coherent partial result (Cancelled set, same cut shape as the
 //     MaxConfigs/MaxStates truncation). Because the cut point is
 //     timing-dependent, cancelled results never enter the cache.
+//
+//   - Edits reuse summaries. An abstract request carrying a `base`
+//     program hash (the ProgramHash of a previously analyzed version)
+//     runs through a per-options incremental session
+//     (pipeline.Incremental): unchanged procedures are served from the
+//     session's summary store, and an α-equivalent resubmission skips
+//     the fixpoint entirely. The incremental layer's bit-identity
+//     contract means the response — summary text and engine counters
+//     alike — is indistinguishable from a cold run's, so the
+//     coalescing/cache key ignores base.
+//
+// The completed-result cache is bounded (Config.CacheMax) with
+// least-recently-used eviction; evictions are counted in Stats.
 package service
 
 import (
+	"container/list"
 	"context"
 	"crypto/sha256"
 	"encoding/json"
@@ -56,6 +70,15 @@ type Request struct {
 	// Options are the result-relevant run options. Execution-only
 	// configuration (workers, scheduler) is server-side.
 	Options Options `json:"options,omitempty"`
+	// Base is the ProgramHash of a previously analyzed version this
+	// program is an edit of. Setting it routes an abstract run through
+	// the service's incremental session for these options, reusing the
+	// procedure summaries that survive the edit (and the whole previous
+	// result when the edit is α-neutral). Purely an optimization hint:
+	// the response is bit-identical with or without it, and a stale or
+	// unknown hash merely warms up from whatever the session still
+	// holds. Ignored for explore runs.
+	Base string `json:"base,omitempty"`
 }
 
 // Options is the result-relevant subset of pipeline.RunOptions plus the
@@ -102,6 +125,15 @@ type Response struct {
 	// the result was not cached.
 	Cancelled bool     `json:"cancelled,omitempty"`
 	Outcomes  []string `json:"outcomes,omitempty"`
+	// ProgramHash identifies the analyzed program version under the
+	// options' hash mode (the named body hash under clan folding, the
+	// α-renamed one otherwise); pass it back as Request.Base when
+	// submitting an edit of this program.
+	ProgramHash string `json:"program_hash,omitempty"`
+	// Incremental marks an abstract run that went through the service's
+	// incremental session (Request.Base was set), so its expansions
+	// could hit the session's summary store.
+	Incremental bool `json:"incremental,omitempty"`
 	// Coalesced marks a response served by attaching to another
 	// request's in-flight run; Cached one served from the completed-
 	// result cache. Per-request bookkeeping, not part of the result.
@@ -118,7 +150,13 @@ type Stats struct {
 	RunsCancelled int64 `json:"runs_cancelled"`
 	CoalesceHits  int64 `json:"coalesce_hits"`
 	CacheHits     int64 `json:"cache_hits"`
-	Inflight      int   `json:"inflight"`
+	// CacheEvictions counts completed results dropped from the bounded
+	// result cache (least recently used first, see Config.CacheMax).
+	CacheEvictions int64 `json:"cache_evictions"`
+	// IncrementalRuns counts abstract runs routed through an incremental
+	// session because the request carried a base program hash.
+	IncrementalRuns int64 `json:"incremental_runs"`
+	Inflight        int   `json:"inflight"`
 }
 
 // Config configures a Service.
@@ -130,6 +168,10 @@ type Config struct {
 	Sched sched.Scheduler
 	// MaxBody caps the request body in bytes (default 1 MiB).
 	MaxBody int64
+	// CacheMax bounds the completed-result cache: at most CacheMax
+	// results are retained, evicting the least recently used (0 selects
+	// the default of 1024; negative disables the bound).
+	CacheMax int
 }
 
 // Service executes analysis requests on one shared pool with in-flight
@@ -144,13 +186,36 @@ type Service struct {
 	base   context.Context
 	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	flights  map[string]*flight
-	cache    map[string]*outcome
+	mu      sync.Mutex
+	flights map[string]*flight
+	// Completed-result cache: map into an LRU list whose front is the
+	// most recently used entry; inserts past cfg.CacheMax evict the back.
+	cache    map[string]*list.Element
+	lru      *list.List // of *cacheEntry
+	incs     map[string]*incSession
+	incOrder []string // incremental sessions, least recently used first
 	stats    Stats
 	counters map[string]int64 // engine counters aggregated across runs
 	closed   bool
 }
+
+// cacheEntry is one completed result in the LRU list.
+type cacheEntry struct {
+	key string
+	out *outcome
+}
+
+// incSession is one per-options incremental analysis session. The inner
+// pipeline.Incremental serializes its own calls, so concurrent flights
+// over the same options share it safely.
+type incSession struct {
+	inc *pipeline.Incremental
+}
+
+// maxIncSessions bounds the distinct options keys with live incremental
+// sessions; the least recently used session (and its summary store) is
+// dropped past the bound.
+const maxIncSessions = 8
 
 // flight is one in-flight engine run shared by every coalesced request.
 type flight struct {
@@ -172,6 +237,9 @@ func New(cfg Config) *Service {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 1 << 20
 	}
+	if cfg.CacheMax == 0 {
+		cfg.CacheMax = 1024
+	}
 	base, cancel := context.WithCancel(context.Background())
 	return &Service{
 		cfg:      cfg,
@@ -179,7 +247,9 @@ func New(cfg Config) *Service {
 		base:     base,
 		cancel:   cancel,
 		flights:  map[string]*flight{},
-		cache:    map[string]*outcome{},
+		cache:    map[string]*list.Element{},
+		lru:      list.New(),
+		incs:     map[string]*incSession{},
 		counters: map[string]int64{},
 	}
 }
@@ -287,8 +357,10 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, Response{Error: "service shutting down"})
 		return
 	}
-	if out, ok := s.cache[key]; ok {
+	if elem, ok := s.cache[key]; ok {
 		s.stats.CacheHits++
+		s.lru.MoveToFront(elem)
+		out := elem.Value.(*cacheEntry).out
 		s.mu.Unlock()
 		resp := out.resp
 		resp.Cached = true
@@ -329,7 +401,9 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 // requestKey is the coalescing/cache key: program content hash plus
 // every result-relevant option — precisely the identity under which the
-// engines guarantee bit-identical results.
+// engines guarantee bit-identical results. Request.Base is deliberately
+// excluded: the incremental path is bit-identical to the cold one, so
+// base cannot change what a request computes.
 func requestKey(req *Request) (string, error) {
 	switch req.Analysis {
 	case "", "explore":
@@ -345,9 +419,16 @@ func requestKey(req *Request) (string, error) {
 		return "", fmt.Errorf("unknown domain %q (const|sign|interval)", req.Options.Domain)
 	}
 	h := sha256.Sum256([]byte(req.Program))
+	return fmt.Sprintf("%x|%s", h, optionsKey(req)), nil
+}
+
+// optionsKey is the program-independent part of requestKey — also the
+// identity under which incremental sessions are shared (two requests
+// with the same optionsKey may reuse each other's procedure summaries).
+func optionsKey(req *Request) string {
 	o := req.Options
-	return fmt.Sprintf("%x|%s|red=%s coarsen=%t max=%d exact=%t dom=%s clan=%t outcomes=%t",
-		h, req.Analysis, o.Reduction, o.Coarsen, o.MaxConfigs, o.ExactKeys, o.Domain, o.ClanFold, o.Outcomes), nil
+	return fmt.Sprintf("%s|red=%s coarsen=%t max=%d exact=%t dom=%s clan=%t outcomes=%t",
+		req.Analysis, o.Reduction, o.Coarsen, o.MaxConfigs, o.ExactKeys, o.Domain, o.ClanFold, o.Outcomes)
 }
 
 func parseReduction(s string) (explore.Reduction, bool) {
@@ -372,7 +453,13 @@ func (s *Service) run(ctx context.Context, key string, f *flight, req Request) {
 	if out.resp.Cancelled {
 		s.stats.RunsCancelled++
 	} else if out.status == http.StatusOK {
-		s.cache[key] = out
+		s.cache[key] = s.lru.PushFront(&cacheEntry{key: key, out: out})
+		for s.cfg.CacheMax > 0 && s.lru.Len() > s.cfg.CacheMax {
+			oldest := s.lru.Back()
+			s.lru.Remove(oldest)
+			delete(s.cache, oldest.Value.(*cacheEntry).key)
+			s.stats.CacheEvictions++
+		}
 	}
 	if reg != nil {
 		for name, v := range reg.Snapshot().Counters {
@@ -382,6 +469,38 @@ func (s *Service) run(ctx context.Context, key string, f *flight, req Request) {
 	s.mu.Unlock()
 	f.cancel() // release the context; harmless after completion
 	close(f.done)
+}
+
+// incremental returns the live incremental session for an options key,
+// creating it (and evicting the least recently used session past
+// maxIncSessions) as needed. Returns nil when the service is closed —
+// the caller then falls back to a one-shot run, which the closed base
+// context cancels the usual way.
+func (s *Service) incremental(key string, adjust func(*abssem.Options)) *pipeline.Incremental {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.stats.IncrementalRuns++
+	if ses, ok := s.incs[key]; ok {
+		for i, k := range s.incOrder {
+			if k == key {
+				s.incOrder = append(append(s.incOrder[:i:i], s.incOrder[i+1:]...), key)
+				break
+			}
+		}
+		return ses.inc
+	}
+	if len(s.incs) >= maxIncSessions {
+		oldest := s.incOrder[0]
+		s.incOrder = s.incOrder[1:]
+		delete(s.incs, oldest)
+	}
+	ses := &incSession{inc: pipeline.NewIncremental(pipeline.RunOptions{}, adjust)}
+	s.incs[key] = ses
+	s.incOrder = append(s.incOrder, key)
+	return ses.inc
 }
 
 // execute runs the request's engine under ctx on the shared pool, with
@@ -408,22 +527,39 @@ func (s *Service) execute(ctx context.Context, req *Request) (*outcome, *metrics
 	}
 
 	if req.Analysis == "abstract" {
-		res := pipeline.AnalyzeContext(ctx, prog, ro, func(ao *abssem.Options) {
+		adjust := func(ao *abssem.Options) {
 			if req.Options.Domain != "" {
 				ao.Domain = absdom.DomainByName(req.Options.Domain)
 			}
 			ao.ClanFold = req.Options.ClanFold
-		})
+		}
+		// The hash mode must match the incremental layer's: clan folding
+		// reads local names, so only the named hash identifies "same
+		// analysis input" under it.
+		hash := lang.HashProgram(prog).ProgramHash(req.Options.ClanFold)
+		var res *abssem.Result
+		incremental := false
+		if req.Base != "" {
+			if inc := s.incremental(optionsKey(req), adjust); inc != nil {
+				res = inc.Configure(ro).AnalyzeEditContext(ctx, prog)
+				incremental = true
+			}
+		}
+		if res == nil {
+			res = pipeline.AnalyzeContext(ctx, prog, ro, adjust)
+		}
 		return &outcome{
 			resp: Response{
-				Analysis:  "abstract",
-				Summary:   res.String(),
-				States:    res.States,
-				Visits:    res.Visits,
-				Terminals: res.TerminalCount,
-				MayError:  res.MayError,
-				Truncated: res.Truncated,
-				Cancelled: res.Cancelled,
+				Analysis:    "abstract",
+				Summary:     res.String(),
+				States:      res.States,
+				Visits:      res.Visits,
+				Terminals:   res.TerminalCount,
+				MayError:    res.MayError,
+				Truncated:   res.Truncated,
+				Cancelled:   res.Cancelled,
+				ProgramHash: hash,
+				Incremental: incremental,
 			},
 			status: http.StatusOK,
 		}, reg
@@ -431,14 +567,15 @@ func (s *Service) execute(ctx context.Context, req *Request) (*outcome, *metrics
 
 	res := pipeline.ExploreContext(ctx, prog, ro)
 	resp := Response{
-		Analysis:  "explore",
-		Summary:   res.String(),
-		States:    res.States,
-		Edges:     res.Edges,
-		Terminals: len(res.Terminals),
-		Errors:    len(res.Errors),
-		Truncated: res.Truncated,
-		Cancelled: res.Cancelled,
+		Analysis:    "explore",
+		Summary:     res.String(),
+		States:      res.States,
+		Edges:       res.Edges,
+		Terminals:   len(res.Terminals),
+		Errors:      len(res.Errors),
+		Truncated:   res.Truncated,
+		Cancelled:   res.Cancelled,
+		ProgramHash: lang.HashProgram(prog).ProgramHash(false),
 	}
 	if req.Options.Outcomes {
 		resp.Outcomes = res.TerminalStoreSet()

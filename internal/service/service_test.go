@@ -178,6 +178,141 @@ func TestResultCache(t *testing.T) {
 	}
 }
 
+func TestResultCacheEviction(t *testing.T) {
+	svc := New(Config{CacheMax: 1})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	second := `var g; func main() { g = 1; }`
+
+	post(t, ts.URL, Request{Program: smallProg})
+	post(t, ts.URL, Request{Program: second}) // bound 1: evicts smallProg
+	if _, out := post(t, ts.URL, Request{Program: smallProg}); out.Cached {
+		t.Fatal("evicted result was served from the cache")
+	}
+	st := svc.Stats()
+	if st.CacheEvictions < 2 {
+		t.Fatalf("stats: %+v, want >=2 evictions at CacheMax=1", st)
+	}
+	if st.CacheHits != 0 {
+		t.Fatalf("stats: %+v, want 0 cache hits", st)
+	}
+}
+
+// Program versions for the incremental (base-hash) request flow: v2
+// α-renames a parameter of v1, v3 edits bump's body, v4 α-renames v3.
+const (
+	svcIncV1 = `
+var g; var h;
+func bump(x) { g = g + x; }
+func poke() { h = h + 1; }
+func main() {
+  cobegin { bump(1); } || { poke(); } coend
+  g = g + h;
+}
+`
+	svcIncV2 = `
+var g; var h;
+func bump(y) { g = g + y; }
+func poke() { h = h + 1; }
+func main() {
+  cobegin { bump(1); } || { poke(); } coend
+  g = g + h;
+}
+`
+	svcIncV3 = `
+var g; var h;
+func bump(y) { g = g + y + 1; }
+func poke() { h = h + 1; }
+func main() {
+  cobegin { bump(1); } || { poke(); } coend
+  g = g + h;
+}
+`
+	svcIncV4 = `
+var g; var h;
+func bump(z) { g = g + z + 1; }
+func poke() { h = h + 1; }
+func main() {
+  cobegin { bump(1); } || { poke(); } coend
+  g = g + h;
+}
+`
+)
+
+// An abstract request carrying the previous version's program_hash runs
+// through the incremental session: responses stay bit-identical to
+// direct scratch runs while the summary counters in /metrics show the
+// reuse (hits on untouched procedures, invalidations on edited ones,
+// whole-result reuse on α-neutral resubmissions).
+func TestIncrementalBaseRequests(t *testing.T) {
+	svc, ts := newSvc(t, 0, sched.Leveled)
+
+	scratch := func(src string) string {
+		return abssem.Analyze(lang.MustParse(src), abssem.Options{}).String()
+	}
+	counters := func() map[string]int64 {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body metricsBody
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Counters
+	}
+
+	_, v1 := post(t, ts.URL, Request{Program: svcIncV1, Analysis: "abstract"})
+	if v1.ProgramHash == "" {
+		t.Fatalf("abstract response carries no program hash: %+v", v1)
+	}
+	if v1.Incremental {
+		t.Fatal("base-less request flagged incremental")
+	}
+
+	// v2 (α-rename) opens the session; its run is the session's baseline.
+	_, v2 := post(t, ts.URL, Request{Program: svcIncV2, Analysis: "abstract", Base: v1.ProgramHash})
+	if !v2.Incremental {
+		t.Fatalf("based request not routed through the incremental session: %+v", v2)
+	}
+	if v2.Summary != scratch(svcIncV2) {
+		t.Fatalf("incremental v2 summary diverged from scratch:\n%s\nvs\n%s", v2.Summary, scratch(svcIncV2))
+	}
+
+	// v3 edits bump only: the session re-runs warm, hitting summaries for
+	// everything the edit left alone and dropping the stale ones.
+	_, v3 := post(t, ts.URL, Request{Program: svcIncV3, Analysis: "abstract", Base: v2.ProgramHash})
+	if v3.Summary != scratch(svcIncV3) {
+		t.Fatalf("incremental v3 summary diverged from scratch")
+	}
+	c := counters()
+	if c["summary_hit"] == 0 {
+		t.Fatalf("edited re-analysis had no summary hits: %v", c)
+	}
+	if c["summary_invalidated"] == 0 {
+		t.Fatalf("editing bump invalidated no summaries: %v", c)
+	}
+
+	// v4 α-renames v3: same program hash, so the whole previous result is
+	// reused without re-running the fixpoint.
+	_, v4 := post(t, ts.URL, Request{Program: svcIncV4, Analysis: "abstract", Base: v3.ProgramHash})
+	if v4.Summary != scratch(svcIncV4) {
+		t.Fatalf("incremental v4 summary diverged from scratch")
+	}
+	if c := counters(); c["analysis_cache_hit"] == 0 {
+		t.Fatalf("α-neutral resubmission did not take the whole-program fast path: %v", c)
+	}
+
+	st := svc.Stats()
+	if st.IncrementalRuns != 3 {
+		t.Fatalf("stats: %+v, want 3 incremental runs", st)
+	}
+}
+
 // N identical concurrent requests share one engine run: every response
 // carries the same summary, and the service performed exactly one run —
 // the followers either attached to the in-flight run (coalesce hits) or,
